@@ -1,0 +1,109 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VII) and prints the rows/series to stdout. See EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments all            # everything (minutes)
+//	experiments table1 fig14   # selected experiments
+//	experiments -quick fig13   # reduced sweeps for smoke runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps (fewer apps/datasets/configs)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] all|table1|table2|fig7|fig13|fig14|fig15|fig16|large|ablation ...")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "table2", "fig7", "fig13", "fig14", "fig15", "fig16", "large", "ablation"}
+	}
+	for _, a := range args {
+		if err := runOne(a, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func runOne(name string, quick bool) error {
+	w := os.Stdout
+	switch name {
+	case "table1":
+		bench.PrintTable1(w)
+	case "table2":
+		rows, err := bench.Table2(quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintTable2(w, rows)
+	case "fig7":
+		var threads []int
+		if quick {
+			threads = []int{1, 2, 4}
+		}
+		rows, err := bench.Fig7(threads)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig7(w, rows)
+	case "fig13":
+		rows, err := bench.Fig13(quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig13(w, rows)
+	case "fig14":
+		rows, err := bench.Fig14(quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig14(w, rows)
+	case "fig15":
+		rows, err := bench.Fig15(quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig15(w, rows)
+	case "fig16":
+		rows, err := bench.Fig16(quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig16(w, rows)
+	case "large":
+		rows, err := bench.LargePatterns(quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintLargePatterns(w, rows)
+	case "ablation":
+		apps := []string{"TC", "4-CL", "SL-4cycle"}
+		if quick {
+			apps = apps[:1]
+		}
+		var rs []bench.AblationResult
+		for _, app := range apps {
+			r, err := bench.Ablation(app, "As", 40)
+			if err != nil {
+				return err
+			}
+			rs = append(rs, r)
+		}
+		bench.PrintAblation(w, rs)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

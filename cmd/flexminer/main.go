@@ -1,0 +1,188 @@
+// Command flexminer mines a pattern in a graph, on the CPU engine or on the
+// simulated accelerator.
+//
+// Usage:
+//
+//	flexminer -app TC -graph graph.txt
+//	flexminer -pattern diamond -graph graph.bin -engine sim -pes 64 -cmap 8192
+//	flexminer -app 3-MC -dataset Mi -engine both
+//
+// Either -graph (a file) or -dataset (a built-in Table I stand-in) selects
+// the input; either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
+// -pattern (catalog name, edge-induced SL) selects the workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (edge list, or .bin CSR)")
+		dataset   = flag.String("dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
+		app       = flag.String("app", "", "application: TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC")
+		patName   = flag.String("pattern", "", "pattern name for edge-induced subgraph listing")
+		induced   = flag.Bool("induced", false, "vertex-induced matching for -pattern")
+		engine    = flag.String("engine", "cpu", "cpu, sim, or both")
+		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "CPU engine threads")
+		pes       = flag.Int("pes", 64, "simulated processing elements")
+		cmapBytes = flag.Int("cmap", 8<<10, "simulated c-map bytes (0 disables)")
+		showPlan  = flag.Bool("show-plan", false, "print the compiled execution plan IR")
+		statsOut  = flag.Bool("stats", false, "print engine/simulator statistics")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *dataset, *app, *patName, *induced, *engine, *threads, *pes, *cmapBytes, *showPlan, *statsOut); err != nil {
+		fmt.Fprintln(os.Stderr, "flexminer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, dataset, app, patName string, induced bool, engine string, threads, pes, cmapBytes int, showPlan, statsOut bool) error {
+	g, err := loadInput(graphPath, dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(graphPath, dataset), g))
+
+	pl, mineG, err := buildPlan(g, app, patName, induced)
+	if err != nil {
+		return err
+	}
+	if showPlan {
+		fmt.Println(pl)
+	}
+
+	runCPU := engine == "cpu" || engine == "both"
+	runSim := engine == "sim" || engine == "both"
+	if !runCPU && !runSim {
+		return fmt.Errorf("unknown engine %q (want cpu, sim, or both)", engine)
+	}
+	if runCPU {
+		start := time.Now()
+		res, err := core.Mine(mineG, pl, core.Options{Threads: threads})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cpu engine (%d threads): %s in %v\n", threads, formatCounts(pl, res.Counts), time.Since(start))
+		if statsOut {
+			s := res.Stats
+			fmt.Printf("  tasks=%d extensions=%d candidates=%d setop-iters=%d frontier-reuses=%d\n",
+				s.Tasks, s.Extensions, s.Candidates, s.SetOpIterations, s.FrontierReuses)
+		}
+	}
+	if runSim {
+		cfg := sim.DefaultConfig().WithPEs(pes).WithCMapBytes(cmapBytes)
+		res, err := sim.Simulate(mineG, pl, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("accelerator (%d PEs, %s c-map): %s in %d cycles = %.6fs @%.1fGHz\n",
+			pes, cmapLabel(cmapBytes), formatCounts(pl, res.Counts),
+			res.Stats.Cycles, res.Stats.Seconds, cfg.FreqGHz)
+		if statsOut {
+			s := res.Stats
+			fmt.Printf("  util=%.2f noc=%d dram=%d l1miss=%d l2miss=%d siu=%d sdu=%d cmap-reads=%.0f%%\n",
+				s.Utilization, s.NoCRequests, s.DRAMAccesses, s.L1Misses, s.L2Misses,
+				s.SIUIters, s.SDUIters, s.CMap.ReadRatio()*100)
+		}
+	}
+	return nil
+}
+
+func loadInput(graphPath, dataset string) (*graph.Graph, error) {
+	switch {
+	case graphPath != "" && dataset != "":
+		return nil, fmt.Errorf("-graph and -dataset are mutually exclusive")
+	case graphPath != "":
+		return graph.Load(graphPath)
+	case dataset != "":
+		return bench.Get(dataset)
+	default:
+		return nil, fmt.Errorf("one of -graph or -dataset is required")
+	}
+}
+
+func inputName(graphPath, dataset string) string {
+	if dataset != "" {
+		return dataset
+	}
+	return graphPath
+}
+
+// buildPlan compiles the requested workload and returns the graph the plan
+// must run on (oriented for clique apps).
+func buildPlan(g *graph.Graph, app, patName string, induced bool) (*plan.Plan, *graph.Graph, error) {
+	switch {
+	case app != "" && patName != "":
+		return nil, nil, fmt.Errorf("-app and -pattern are mutually exclusive")
+	case app != "":
+		var k int
+		if app == "TC" {
+			k = 3
+		} else if _, err := fmt.Sscanf(app, "%d-CL", &k); err == nil && k >= 2 {
+			// k parsed
+		} else if app == "3-MC" || app == "4-MC" {
+			kk := 3
+			if app == "4-MC" {
+				kk = 4
+			}
+			pl, err := plan.CompileMotifs(kk, plan.Options{})
+			return pl, g, err
+		} else if len(app) > 3 && app[:3] == "SL-" {
+			p, err := pattern.ByName(app[3:])
+			if err != nil {
+				return nil, nil, err
+			}
+			pl, err := plan.Compile(p, plan.Options{})
+			return pl, g, err
+		} else {
+			return nil, nil, fmt.Errorf("unknown app %q", app)
+		}
+		pl, err := plan.CompileCliqueDAG(k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return pl, g.Orient(), nil
+	case patName != "":
+		p, err := pattern.ByName(patName)
+		if err != nil {
+			return nil, nil, err
+		}
+		pl, err := plan.Compile(p, plan.Options{Induced: induced})
+		return pl, g, err
+	default:
+		return nil, nil, fmt.Errorf("one of -app or -pattern is required")
+	}
+}
+
+func formatCounts(pl *plan.Plan, counts []int64) string {
+	if len(counts) == 1 {
+		return fmt.Sprintf("%s = %d", pl.Patterns[0].Name(), counts[0])
+	}
+	out := ""
+	for i, c := range counts {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s=%d", pl.Patterns[i].Name(), c)
+	}
+	return out
+}
+
+func cmapLabel(b int) string {
+	if b == 0 {
+		return "no"
+	}
+	return fmt.Sprintf("%dB", b)
+}

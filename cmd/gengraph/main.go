@@ -1,0 +1,79 @@
+// Command gengraph generates synthetic graphs (or converts between formats)
+// for use with the flexminer CLI and the experiment harness.
+//
+// Usage:
+//
+//	gengraph -kind chunglu -n 100000 -m 1000000 -beta 2.3 -seed 7 -o graph.bin
+//	gengraph -kind rmat -scale 18 -m 4000000 -o rmat.txt
+//	gengraph -convert in.txt -o out.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "chunglu", "generator: er, chunglu, rmat, ring, clique, bipartite, grid")
+		n       = flag.Int("n", 10000, "vertex count (er, chunglu, ring, clique)")
+		m       = flag.Int("m", 100000, "edge samples (er, chunglu, rmat, bipartite)")
+		beta    = flag.Float64("beta", 2.3, "power-law exponent (chunglu)")
+		scale   = flag.Int("scale", 14, "log2 vertex count (rmat)")
+		k       = flag.Int("k", 4, "ring neighbor span / grid side")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		convert = flag.String("convert", "", "convert an existing graph file instead of generating")
+		out     = flag.String("o", "", "output path (.bin = binary CSR, else text edge list)")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *m, *beta, *scale, *k, *seed, *convert, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n, m int, beta float64, scale, k int, seed uint64, convert, out string) error {
+	if out == "" {
+		return fmt.Errorf("-o output path is required")
+	}
+	var g *graph.Graph
+	var err error
+	if convert != "" {
+		g, err = graph.Load(convert)
+		if err != nil {
+			return err
+		}
+	} else {
+		switch kind {
+		case "er":
+			g = graph.ErdosRenyi(n, m, seed)
+		case "chunglu":
+			g = graph.ChungLu(n, m, beta, seed)
+		case "rmat":
+			g = graph.RMAT(scale, m, 0.57, 0.19, 0.19, seed)
+		case "ring":
+			g = graph.Ring(n, k)
+		case "clique":
+			g = graph.Clique(n)
+		case "bipartite":
+			g = graph.Bipartite(n/2, n-n/2, m, seed)
+		case "grid":
+			g = graph.Grid(k, k)
+		default:
+			return fmt.Errorf("unknown generator %q", kind)
+		}
+	}
+	fmt.Println(graph.ComputeStats(out, g))
+	if len(out) > 4 && out[len(out)-4:] == ".bin" {
+		return graph.SaveBinary(out, g)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.WriteEdgeList(f, g)
+}

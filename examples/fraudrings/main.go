@@ -1,0 +1,65 @@
+// Transaction-ring detection: 4-cycles in a bipartite payments graph
+// (accounts × merchants) signal card-testing and collusion rings — a
+// security workload in the spirit of the paper's web-spam and fraud
+// motivations [9, 26, 30, 36].
+//
+// Bipartite graphs have no triangles, so the 4-cycle is the densest ring
+// signal; this is also the pattern where the paper's c-map shines (§VII-C).
+// We mine on the CPU, then sweep the accelerator's c-map size to show the
+// Fig 14 effect on this workload.
+//
+//	go run ./examples/fraudrings
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flexminer "repro"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 3k accounts × 1k merchants, 25k payments, power-skewed merchants.
+	g := graph.Bipartite(3000, 1000, 25000, 77)
+	fmt.Println(graph.ComputeStats("payments", g))
+
+	pl, err := flexminer.Compile(flexminer.Patterns.FourCycle(), flexminer.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := flexminer.Mine(g, pl, flexminer.MineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction rings (4-cycles): %d\n", cpu.Counts[0])
+
+	// Accelerator sweep: no c-map vs the paper's sizes. Counts must agree
+	// with the CPU engine bit-for-bit; cycles and NoC traffic improve.
+	fmt.Printf("%-10s %12s %12s %10s %10s\n", "c-map", "cycles", "NoC reqs", "speedup", "read%")
+	cfgBase := sim.DefaultConfig().WithPEs(20)
+	cfgBase.PrivateCacheBytes = 1 << 10 // scaled with the dataset; see DESIGN.md
+	cfgBase.SharedCacheBytes = 32 << 10
+	cfgBase.TaskSliceElems = 32
+	var noCmap int64
+	for _, bytes := range []int{0, 1 << 10, 4 << 10, 8 << 10} {
+		res, err := flexminer.Simulate(g, pl, cfgBase.WithCMapBytes(bytes))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Counts[0] != cpu.Counts[0] {
+			log.Fatalf("accelerator disagrees: %d vs %d", res.Counts[0], cpu.Counts[0])
+		}
+		if bytes == 0 {
+			noCmap = res.Stats.Cycles
+		}
+		label := "none"
+		if bytes > 0 {
+			label = fmt.Sprintf("%dkB", bytes>>10)
+		}
+		fmt.Printf("%-10s %12d %12d %9.2fx %9.0f%%\n",
+			label, res.Stats.Cycles, res.Stats.NoCRequests,
+			float64(noCmap)/float64(res.Stats.Cycles), res.Stats.CMap.ReadRatio()*100)
+	}
+}

@@ -1,0 +1,67 @@
+// Social-network motif analysis: the workload class the paper's introduction
+// motivates with triad censuses in the social sciences [29, 31, 34, 41].
+//
+// We generate a power-law "follower" graph, count all 3-motifs with the
+// merged multi-pattern plan, derive the global clustering coefficient from
+// the triangle/wedge ratio, and then compare the pattern-aware engine with
+// the pattern-oblivious strategy (Gramer-style) to show why matching and
+// symmetry orders matter.
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	flexminer "repro"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	// ~5k-member community with heavy-tailed popularity.
+	g := graph.ChungLu(5000, 40000, 2.3, 2026)
+	fmt.Println(graph.ComputeStats("socialnet", g))
+
+	// 3-motif census in one pass: the compiler merges the wedge and
+	// triangle chains into a dependency tree (§V-B).
+	pl, err := flexminer.CompileMotifs(3, flexminer.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	res, err := flexminer.Mine(g, pl, flexminer.MineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aware := time.Since(start)
+
+	var wedges, triangles int64
+	for i, p := range pl.Patterns {
+		fmt.Printf("  %-10s %12d\n", p.Name(), res.Counts[i])
+		switch p.Name() {
+		case "wedge":
+			wedges = res.Counts[i]
+		case "triangle":
+			triangles = res.Counts[i]
+		}
+	}
+	// Global clustering coefficient: 3·triangles / (open + closed wedges).
+	cc := 3 * float64(triangles) / (float64(wedges) + 3*float64(triangles))
+	fmt.Printf("global clustering coefficient: %.4f\n", cc)
+
+	// The pattern-oblivious strategy enumerates the same subgraphs with
+	// isomorphism tests at every leaf (§III) — same answers, bigger tree.
+	start = time.Now()
+	obl := core.MineOblivious(g, 3, 0)
+	oblivious := time.Since(start)
+	for i, p := range pl.Patterns {
+		if got := obl.CountInduced(p); got != res.Counts[i] {
+			log.Fatalf("oblivious engine disagrees on %s: %d vs %d", p.Name(), got, res.Counts[i])
+		}
+	}
+	fmt.Printf("pattern-aware: %v   pattern-oblivious: %v (%.1fx slower, %d iso tests)\n",
+		aware, oblivious, float64(oblivious)/float64(aware), obl.IsoTests)
+}

@@ -1,0 +1,89 @@
+package flexminer
+
+import "testing"
+
+// TestFacadeEndToEnd drives the public API exactly as the README does.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := NewGraph(5, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {2, 3}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(Patterns.Triangle(), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(g, pl, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 2 {
+		t.Errorf("triangles = %d, want 2", res.Counts[0])
+	}
+	sres, err := Simulate(g, pl, DefaultSimConfig().WithPEs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Counts[0] != 2 {
+		t.Errorf("simulated triangles = %d, want 2", sres.Counts[0])
+	}
+	if sres.Stats.Cycles <= 0 {
+		t.Error("no cycles elapsed")
+	}
+}
+
+func TestFacadeCliqueDAG(t *testing.T) {
+	g, err := NewGraph(6, [][2]uint32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := CompileCliqueDAG(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(g.Orient(), pl, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[0] != 1 {
+		t.Errorf("4-cliques = %d, want 1", res.Counts[0])
+	}
+}
+
+func TestFacadeMotifs(t *testing.T) {
+	g, err := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := CompileMotifs(4, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(g, pl, MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pl.Patterns {
+		want := int64(0)
+		if p.Name() == "4-cycle" {
+			want = 1
+		}
+		if res.Counts[i] != want {
+			t.Errorf("%s = %d, want %d", p.Name(), res.Counts[i], want)
+		}
+	}
+}
+
+func TestFacadePatternsByName(t *testing.T) {
+	p, err := Patterns.ByName("diamond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsIsomorphic(Patterns.Diamond()) {
+		t.Error("ByName diamond mismatch")
+	}
+	if len(Patterns.Motifs(4)) != 6 {
+		t.Error("motif catalog")
+	}
+}

@@ -1,0 +1,124 @@
+// Package bench is the evaluation harness: it holds the dataset registry
+// (synthetic stand-ins for the paper's Table I graphs) and one runner per
+// table/figure of §VII, each returning typed rows that cmd/experiments and
+// the bench_test.go benchmarks render.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Dataset names a graph workload. The paper's six inputs (Table I) are
+// SNAP/real graphs; our stand-ins are deterministic power-law generators
+// whose *shape* — density, degree skew, relative size ordering — matches the
+// originals at a scale the cycle-level simulator can run in seconds. (The
+// simulator accepts real SNAP edge lists via graph.Load for full-scale runs.)
+type Dataset struct {
+	Name string // paper's abbreviation (As, Mi, Pa, Yo, Lj, Or)
+	Desc string // what it stands in for
+	Gen  func() *graph.Graph
+}
+
+// Datasets returns the Table I registry in the paper's order.
+//
+// Shape matching (original → stand-in): average degree is preserved, vertex
+// counts are scaled down ~1000×, and the Chung–Lu exponent is tuned so each
+// graph keeps a heavy tail (rare hubs), which drives both c-map reuse and
+// cache behaviour.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "As",
+			Desc: "as-skitter stand-in: internet topology, 1.7M v / 11M e, avg deg 13",
+			Gen:  func() *graph.Graph { return graph.ChungLu(2000, 13000, 2.3, 0xA5) },
+		},
+		{
+			Name: "Mi",
+			Desc: "mico stand-in: co-authorship, densest input (avg deg 21)",
+			Gen:  func() *graph.Graph { return graph.ChungLu(1600, 16800, 2.7, 0x31) },
+		},
+		{
+			Name: "Pa",
+			Desc: "cit-patents stand-in: citation network, large and sparse (avg deg 5)",
+			Gen:  func() *graph.Graph { return graph.ChungLu(4000, 10000, 2.2, 0x9A) },
+		},
+		{
+			Name: "Yo",
+			Desc: "com-youtube stand-in: social network, 7.1M v / 57M e (avg deg 16)",
+			Gen:  func() *graph.Graph { return graph.ChungLu(3600, 28800, 2.35, 0x70) },
+		},
+		{
+			Name: "Lj",
+			Desc: "soc-livejournal stand-in: social network, avg deg 17, triangle-rich",
+			Gen:  func() *graph.Graph { return graph.RMAT(12, 34000, 0.57, 0.19, 0.19, 0x17) },
+		},
+		{
+			Name: "Or",
+			Desc: "com-orkut stand-in: social network, heavy (avg deg 76, scaled to 40)",
+			Gen:  func() *graph.Graph { return graph.ChungLu(2400, 48000, 2.5, 0x08) },
+		},
+	}
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*graph.Graph{}
+)
+
+// Get returns (and caches) a dataset by name.
+func Get(name string) (*graph.Graph, error) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if g, ok := dsCache[name]; ok {
+		return g, nil
+	}
+	for _, d := range Datasets() {
+		if d.Name == name {
+			g := d.Gen()
+			dsCache[name] = g
+			return g, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown dataset %q", name)
+}
+
+// MustGet is Get for registry names known at compile time.
+func MustGet(name string) *graph.Graph {
+	g, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Table1 computes the dataset statistics table.
+func Table1() []graph.Stats {
+	var out []graph.Stats
+	for _, d := range Datasets() {
+		g, _ := Get(d.Name)
+		out = append(out, graph.ComputeStats(d.Name, g))
+	}
+	return out
+}
+
+// appDatasets mirrors the paper's per-application dataset selections
+// (Fig 13): heavy apps skip the graphs they cannot finish.
+var appDatasets = map[string][]string{
+	"TC":         {"As", "Mi", "Pa", "Yo", "Lj"},
+	"4-CL":       {"As", "Mi", "Pa", "Yo"},
+	"5-CL":       {"As", "Pa"},
+	"SL-4cycle":  {"As", "Mi", "Pa"},
+	"SL-diamond": {"As", "Mi", "Pa"},
+	"3-MC":       {"As", "Mi", "Pa", "Yo"},
+}
+
+// AppDatasets returns the dataset names evaluated for an app.
+func AppDatasets(app string) []string {
+	if ds, ok := appDatasets[app]; ok {
+		return ds
+	}
+	return []string{"As", "Mi", "Pa"}
+}

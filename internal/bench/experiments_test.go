@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetsRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Datasets() {
+		if seen[d.Name] {
+			t.Errorf("duplicate dataset %s", d.Name)
+		}
+		seen[d.Name] = true
+		g, err := Get(d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+		if g2, _ := Get(d.Name); g2 != g {
+			t.Errorf("%s: not cached", d.Name)
+		}
+	}
+	for _, name := range []string{"As", "Mi", "Pa", "Yo", "Lj", "Or"} {
+		if !seen[name] {
+			t.Errorf("missing Table I dataset %s", name)
+		}
+	}
+	if _, err := Get("Nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestTable1Stats(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table1 rows = %d", len(rows))
+	}
+	// Mi must be the densest input (§VII-C: "Mi is the most dense graph").
+	var miAvg, maxOther float64
+	for _, r := range rows {
+		if r.Name == "Mi" {
+			miAvg = r.AvgDegree
+		} else if r.Name != "Or" && r.AvgDegree > maxOther {
+			maxOther = r.AvgDegree
+		}
+	}
+	if miAvg <= maxOther {
+		t.Errorf("Mi avg degree %.1f not densest (other max %.1f)", miAvg, maxOther)
+	}
+}
+
+func TestWorkloadsCompile(t *testing.T) {
+	for _, app := range []string{"TC", "4-CL", "5-CL", "SL-4cycle", "SL-diamond", "3-MC", "7-CL"} {
+		w, err := NewWorkload(app, "As")
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if w.Plan.RequiresDAG != w.G.IsDAG {
+			t.Errorf("%s: plan/graph DAG mismatch", app)
+		}
+	}
+	if _, err := NewWorkload("bogus", "As"); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := NewWorkload("TC", "bogus"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFig14QuickShapes(t *testing.T) {
+	rows, err := Fig14(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Speedup[0] != 1 {
+			t.Errorf("%s/%s: no-cmap speedup %v != 1", r.App, r.Dataset, r.Speedup[0])
+		}
+		// The c-map must help 4-cycle (the paper's headline case).
+		if r.App == "SL-4cycle" && r.Speedup[4<<10] <= 1.0 {
+			t.Errorf("%s/%s: 4kB c-map speedup %.3f <= 1", r.App, r.Dataset, r.Speedup[4<<10])
+		}
+	}
+}
+
+func TestFig16QuickShapes(t *testing.T) {
+	rows, err := Fig16(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NoC[0] == 0 {
+			t.Errorf("%s/%s: zero baseline traffic", r.App, r.Dataset)
+		}
+		if r.App == "SL-4cycle" && r.NoC[4<<10] >= r.NoC[0] {
+			t.Errorf("%s/%s: c-map did not cut NoC traffic (%d >= %d)",
+				r.App, r.Dataset, r.NoC[4<<10], r.NoC[0])
+		}
+	}
+}
+
+func TestFig15QuickScaling(t *testing.T) {
+	rows, err := Fig15(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Scaling[1] != 1 {
+			t.Errorf("%s/%s: 1-PE scaling %v", r.App, r.Dataset, r.Scaling[1])
+		}
+		if r.Scaling[16] < 2 {
+			t.Errorf("%s/%s: 16-PE scaling only %.2fx", r.App, r.Dataset, r.Scaling[16])
+		}
+	}
+}
+
+func TestTable2QuickOrdering(t *testing.T) {
+	rows, err := Table2(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.SearchOblivious == 0 {
+			continue // oblivious skipped as intractable for this row
+		}
+		// Pattern-aware search trees must be no larger than oblivious ones.
+		if r.SearchAware > r.SearchOblivious {
+			t.Errorf("%s/%s: aware tree %d > oblivious %d",
+				r.App, r.Dataset, r.SearchAware, r.SearchOblivious)
+		}
+	}
+}
+
+func TestAblationFactors(t *testing.T) {
+	r, err := Ablation("SL-4cycle", "As", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpecializationFactor < 1 {
+		t.Errorf("specialization factor %.2f < 1", r.SpecializationFactor)
+	}
+	if r.MultithreadFactor < 2 {
+		t.Errorf("8-PE multithread factor %.2f < 2", r.MultithreadFactor)
+	}
+	if r.CMapFactor < 1 {
+		t.Errorf("c-map factor %.2f < 1", r.CMapFactor)
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var sb strings.Builder
+	PrintTable1(&sb)
+	rows14, err := Fig14(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig14(&sb, rows14)
+	rows16, err := Fig16(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFig16(&sb, rows16)
+	out := sb.String()
+	for _, want := range []string{"Table I", "Fig 14", "Fig 16", "As"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q", want)
+		}
+	}
+}

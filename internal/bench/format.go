@@ -1,0 +1,174 @@
+package bench
+
+// Text renderers: each experiment prints rows/series in the same layout the
+// paper's tables and figures report.
+
+import (
+	"fmt"
+	"io"
+)
+
+// PrintTable1 renders the dataset statistics.
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table I: input graphs (synthetic stand-ins; see DESIGN.md)")
+	for _, s := range Table1() {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+}
+
+// PrintTable2 renders the software-baseline comparison.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table II: Oblivious (Gramer-style) vs AutoMine vs GraphZero, seconds")
+	fmt.Fprintf(w, "  %-6s %-4s %12s %12s %12s %14s %12s\n",
+		"app", "g", "oblivious", "automine", "graphzero", "tree(obliv)", "tree(aware)")
+	for _, r := range rows {
+		obl, tree := "-", "-"
+		if r.SearchOblivious > 0 {
+			obl = fmt.Sprintf("%.4f", r.ObliviousSec)
+			tree = fmt.Sprintf("%d", r.SearchOblivious)
+		}
+		fmt.Fprintf(w, "  %-6s %-4s %12s %12.4f %12.4f %14s %12d\n",
+			r.App, r.Dataset, obl, r.AutoMineSec, r.GraphZeroSec,
+			tree, r.SearchAware)
+	}
+}
+
+// PrintFig7 renders the CPU thread-scaling series.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Fig 7: 4-CL software scaling on Or")
+	fmt.Fprintf(w, "  %-8s %10s %9s %14s\n", "threads", "seconds", "speedup", "Melem/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8d %10.4f %9.2f %14.1f\n", r.Threads, r.Seconds, r.Speedup, r.MElemPerSec)
+	}
+}
+
+// PrintFig13 renders the no-c-map speedups over the 20-thread baseline.
+func PrintFig13(w io.Writer, rows []Fig13Row) {
+	fmt.Fprintln(w, "Fig 13: FlexMiner (no c-map) speedup over GraphZero-20T")
+	fmt.Fprintf(w, "  %-10s %-4s %12s", "app", "g", "baseline(s)")
+	for _, pe := range Fig13PEs {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("%d-PE", pe))
+	}
+	fmt.Fprintln(w)
+	sums := map[int]float64{}
+	n := 0
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %-4s %12.4f", r.App, r.Dataset, r.BaselineSec)
+		for _, pe := range Fig13PEs {
+			if s, ok := r.Speedup[pe]; ok {
+				fmt.Fprintf(w, " %7.2fx", s)
+				sums[pe] += s
+			} else {
+				fmt.Fprintf(w, " %8s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "  %-28s", "geomean-ish (arith avg)")
+		for _, pe := range Fig13PEs {
+			if sums[pe] > 0 {
+				fmt.Fprintf(w, " %7.2fx", sums[pe]/float64(n))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig14 renders the c-map size sweep (speedup over no-cmap at 20 PE).
+func PrintFig14(w io.Writer, rows []Fig14Row) {
+	fmt.Fprintln(w, "Fig 14: c-map size sweep, 20 PE, speedup over no-cmap")
+	fmt.Fprintf(w, "  %-10s %-4s", "app", "g")
+	for _, s := range CMapSizes[1:] {
+		fmt.Fprintf(w, " %9s", sizeLabel(s))
+	}
+	fmt.Fprintf(w, " %9s\n", "readratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %-4s", r.App, r.Dataset)
+		for _, s := range CMapSizes[1:] {
+			if v, ok := r.Speedup[s]; ok {
+				fmt.Fprintf(w, " %8.2fx", v)
+			} else {
+				fmt.Fprintf(w, " %9s", "-")
+			}
+		}
+		fmt.Fprintf(w, " %8.0f%%\n", r.ReadRatio[8<<10]*100)
+	}
+}
+
+// PrintFig15 renders PE scaling normalized to one PE.
+func PrintFig15(w io.Writer, rows []Fig15Row) {
+	fmt.Fprintln(w, "Fig 15: PE scaling with 8 kB c-map (normalized to 1 PE)")
+	fmt.Fprintf(w, "  %-10s %-4s", "app", "g")
+	for _, pe := range Fig15PEs {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("%dPE", pe))
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %-4s", r.App, r.Dataset)
+		for _, pe := range Fig15PEs {
+			if v, ok := r.Scaling[pe]; ok {
+				fmt.Fprintf(w, " %6.2fx", v)
+			} else {
+				fmt.Fprintf(w, " %7s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig16 renders NoC and DRAM traffic per c-map size.
+func PrintFig16(w io.Writer, rows []Fig16Row) {
+	fmt.Fprintln(w, "Fig 16: NoC traffic (L2 accesses) and DRAM accesses, 20 PE")
+	sizes := []int{0, 1 << 10, 4 << 10, 8 << 10, 16 << 10}
+	fmt.Fprintf(w, "  %-10s %-4s %-5s", "app", "g", "")
+	for _, s := range sizes {
+		fmt.Fprintf(w, " %10s", sizeLabel(s))
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %-4s %-5s", r.App, r.Dataset, "NoC")
+		for _, s := range sizes {
+			fmt.Fprintf(w, " %10d", r.NoC[s])
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  %-10s %-4s %-5s", "", "", "DRAM")
+		for _, s := range sizes {
+			fmt.Fprintf(w, " %10d", r.DRAM[s])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintLargePatterns renders the §VII-D rows.
+func PrintLargePatterns(w io.Writer, rows []LargePatternRow) {
+	fmt.Fprintln(w, "Large graphs & patterns (§VII-D): 20-PE FlexMiner vs GraphZero-20T")
+	fmt.Fprintf(w, "  %-10s %12s %12s %9s\n", "workload", "baseline(s)", "sim(s)", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %12.4f %12.6f %8.2fx\n", r.Label, r.BaselineSec, r.SimSec, r.Speedup)
+	}
+}
+
+// PrintAblation renders the §VII-E attribution.
+func PrintAblation(w io.Writer, rs []AblationResult) {
+	fmt.Fprintln(w, "Attribution (§VII-E): specialization × multithreading × c-map")
+	fmt.Fprintf(w, "  %-10s %-4s %15s %15s %10s\n", "app", "g", "specialization", "multithreading", "c-map")
+	for _, r := range rs {
+		fmt.Fprintf(w, "  %-10s %-4s %14.2fx %14.2fx %9.2fx\n",
+			r.App, r.Dataset, r.SpecializationFactor, r.MultithreadFactor, r.CMapFactor)
+	}
+}
+
+func sizeLabel(s int) string {
+	switch {
+	case s < 0:
+		return "unlim"
+	case s == 0:
+		return "no-cmap"
+	case s >= 1<<10:
+		return fmt.Sprintf("%dkB", s>>10)
+	default:
+		return fmt.Sprintf("%dB", s)
+	}
+}

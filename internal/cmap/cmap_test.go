@@ -1,0 +1,269 @@
+package cmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func sortedList(r *rand.Rand, n, space int) []graph.VID {
+	seen := map[graph.VID]bool{}
+	var out []graph.VID
+	for i := 0; i < n; i++ {
+		v := graph.VID(r.Intn(space))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestHashMapBasics exercises insert/lookup/remove on a single level.
+func TestHashMapBasics(t *testing.T) {
+	m := NewHashMap(64, 4)
+	adj := []graph.VID{3, 7, 11, 42}
+	if !m.TryInsertLevel(adj, 1, NoBound) {
+		t.Fatal("insert rejected")
+	}
+	for _, v := range adj {
+		if m.Lookup(v) != 1<<1 {
+			t.Errorf("Lookup(%d) = %b, want bit 1", v, m.Lookup(v))
+		}
+	}
+	if m.Lookup(5) != 0 {
+		t.Error("absent key has bits")
+	}
+	m.RemoveLevel(adj, 1, NoBound)
+	for _, v := range adj {
+		if m.Lookup(v) != 0 {
+			t.Errorf("after remove, Lookup(%d) = %b", v, m.Lookup(v))
+		}
+	}
+	if m.Occupancy() != 0 {
+		t.Errorf("occupancy %d after full removal", m.Occupancy())
+	}
+}
+
+// TestHashMapBoundFilter: only IDs below the bound are inserted (§VI-B).
+func TestHashMapBoundFilter(t *testing.T) {
+	m := NewHashMap(64, 4)
+	adj := []graph.VID{1, 5, 9, 13, 17}
+	if !m.TryInsertLevel(adj, 0, 10) {
+		t.Fatal("insert rejected")
+	}
+	for _, v := range adj {
+		want := Bits(0)
+		if v < 10 {
+			want = 1
+		}
+		if m.Lookup(v) != want {
+			t.Errorf("Lookup(%d) = %b want %b", v, m.Lookup(v), want)
+		}
+	}
+	m.RemoveLevel(adj, 0, 10)
+	if m.Occupancy() != 0 {
+		t.Errorf("occupancy %d", m.Occupancy())
+	}
+}
+
+// TestHashMapOverflowEstimate: the occupancy estimate must reject bulk
+// inserts that would exceed the threshold, leaving the map untouched.
+func TestHashMapOverflowEstimate(t *testing.T) {
+	m := NewHashMap(16, 4) // 75% threshold = 12 entries
+	small := []graph.VID{1, 2, 3}
+	if !m.TryInsertLevel(small, 0, NoBound) {
+		t.Fatal("small insert rejected")
+	}
+	big := make([]graph.VID, 11)
+	for i := range big {
+		big[i] = graph.VID(100 + i)
+	}
+	if m.TryInsertLevel(big, 1, NoBound) {
+		t.Fatal("oversized insert accepted")
+	}
+	if m.Stats().Overflows == 0 {
+		t.Error("overflow not counted")
+	}
+	for _, v := range big {
+		if m.Lookup(v) != 0 {
+			t.Errorf("rejected insert leaked key %d", v)
+		}
+	}
+	// The earlier level must be intact.
+	for _, v := range small {
+		if m.Lookup(v) != 1 {
+			t.Errorf("level-0 key %d lost", v)
+		}
+	}
+}
+
+// TestHashMapSharedKeysAcrossLevels: a key inserted at two levels keeps the
+// other level's bit when one is removed (the '011' example of Fig 12).
+func TestHashMapSharedKeysAcrossLevels(t *testing.T) {
+	m := NewHashMap(64, 4)
+	m.TryInsertLevel([]graph.VID{4, 5, 6}, 0, NoBound)
+	m.TryInsertLevel([]graph.VID{5, 6, 7}, 1, NoBound)
+	if got := m.Lookup(5); got != 0b11 {
+		t.Errorf("Lookup(5) = %b want 11", got)
+	}
+	m.RemoveLevel([]graph.VID{5, 6, 7}, 1, NoBound)
+	if got := m.Lookup(5); got != 0b01 {
+		t.Errorf("after remove, Lookup(5) = %b want 01", got)
+	}
+}
+
+// TestHashMapAgainstVectorOracle drives both implementations through random
+// stack-disciplined workloads (the only access pattern GPM generates, §VI-A)
+// and demands identical lookup results throughout.
+func TestHashMapAgainstVectorOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const space = 256
+		hm := NewHashMap(1024, 4)
+		vec := NewVector(space)
+
+		type frame struct {
+			adj   []graph.VID
+			depth int
+			bound graph.VID
+			inHM  bool
+		}
+		var stack []frame
+		for step := 0; step < 300; step++ {
+			switch {
+			case len(stack) > 0 && r.Intn(3) == 0: // pop
+				fr := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if fr.inHM {
+					hm.RemoveLevel(fr.adj, fr.depth, fr.bound)
+				}
+				vec.RemoveLevel(fr.adj, fr.depth, fr.bound)
+			case len(stack) < 8: // push
+				fr := frame{
+					adj:   sortedList(r, r.Intn(30), space),
+					depth: len(stack),
+					bound: NoBound,
+				}
+				if r.Intn(2) == 0 {
+					fr.bound = graph.VID(r.Intn(space))
+				}
+				fr.inHM = hm.TryInsertLevel(fr.adj, fr.depth, fr.bound)
+				vec.TryInsertLevel(fr.adj, fr.depth, fr.bound)
+				stack = append(stack, fr)
+			}
+			// Compare lookups over inserted-at-HM levels: levels the hash
+			// map rejected are tracked by the caller (the engine falls back
+			// to set ops), so mask them out of the oracle's answer.
+			var hmMask Bits
+			for _, fr := range stack {
+				if fr.inHM {
+					hmMask |= 1 << uint(fr.depth)
+				}
+			}
+			for probe := 0; probe < 20; probe++ {
+				key := graph.VID(r.Intn(space))
+				if hm.Lookup(key) != vec.Lookup(key)&hmMask {
+					return false
+				}
+			}
+		}
+		// Unwind everything; the map must end empty.
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if fr.inHM {
+				hm.RemoveLevel(fr.adj, fr.depth, fr.bound)
+			}
+		}
+		return hm.Occupancy() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashMapProbeChainsSurviveBulkRemoval reproduces the §VI-A subtlety:
+// keys colliding into one probe chain, removed in insertion order, must all
+// be found (deletion probes skip holes opened within the same bulk).
+func TestHashMapProbeChainsSurviveBulkRemoval(t *testing.T) {
+	m := NewHashMap(8, 1)
+	// Fill most of a tiny single-bank table so chains interleave heavily.
+	adj := []graph.VID{1, 2, 3, 4, 5}
+	if !m.TryInsertLevel(adj, 0, NoBound) {
+		t.Fatal("insert rejected")
+	}
+	m.RemoveLevel(adj, 0, NoBound)
+	if m.Occupancy() != 0 {
+		t.Fatalf("stale entries after bulk removal: occupancy=%d", m.Occupancy())
+	}
+	for _, v := range adj {
+		if m.Lookup(v) != 0 {
+			t.Errorf("stale bits for %d", v)
+		}
+	}
+}
+
+// TestHashMapReset clears everything.
+func TestHashMapReset(t *testing.T) {
+	m := NewHashMap(32, 4)
+	m.TryInsertLevel([]graph.VID{1, 2, 3}, 2, NoBound)
+	m.Reset()
+	if m.Occupancy() != 0 || m.Lookup(2) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+// TestHashMapReadRatio sanity-checks the §VII-C metric.
+func TestHashMapReadRatio(t *testing.T) {
+	m := NewHashMap(64, 4)
+	m.TryInsertLevel([]graph.VID{1, 2}, 0, NoBound) // 2 writes
+	for i := 0; i < 18; i++ {
+		m.Lookup(graph.VID(i))
+	}
+	rr := m.Stats().ReadRatio()
+	if rr < 0.89 || rr > 0.91 { // 18 reads / 20 accesses
+		t.Errorf("read ratio %.3f want 0.90", rr)
+	}
+}
+
+// TestNewHashMapBytes checks the 5-byte-per-entry sizing of §VI-A.
+func TestNewHashMapBytes(t *testing.T) {
+	m := NewHashMapBytes(10<<10, 4) // the paper's 2K-entry prototype
+	if m.Capacity() != 2048 {
+		t.Errorf("capacity %d want 2048", m.Capacity())
+	}
+}
+
+func BenchmarkHashMapInsertRemove(b *testing.B) {
+	m := NewHashMapBytes(8<<10, 4)
+	adj := make([]graph.VID, 64)
+	for i := range adj {
+		adj[i] = graph.VID(i * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TryInsertLevel(adj, 1, NoBound)
+		m.RemoveLevel(adj, 1, NoBound)
+	}
+}
+
+func BenchmarkHashMapLookup(b *testing.B) {
+	m := NewHashMapBytes(8<<10, 4)
+	adj := make([]graph.VID, 512)
+	for i := range adj {
+		adj[i] = graph.VID(i * 3)
+	}
+	m.TryInsertLevel(adj, 1, NoBound)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(graph.VID(i % 2048))
+	}
+}

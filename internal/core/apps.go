@@ -1,0 +1,126 @@
+package core
+
+// The four GPM applications of §II-A, as one-call conveniences over the
+// compiler and engine. Each returns the exact count(s) plus run stats.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+)
+
+// TriangleCount solves TC: the number of triangles in g.
+func TriangleCount(g *graph.Graph, o Options) (int64, error) {
+	r, err := CliqueCount(g, 3, o)
+	return r, err
+}
+
+// CliqueCount solves k-CL using the orientation optimization of §V-C: the
+// input is converted to a degree-ordered DAG (cost amortized, <1% of mining
+// time) and mined without symmetry checks.
+func CliqueCount(g *graph.Graph, k int, o Options) (int64, error) {
+	pl, err := plan.CompileCliqueDAG(k)
+	if err != nil {
+		return 0, err
+	}
+	dag := g.Orient()
+	res, err := Mine(dag, pl, o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count(), nil
+}
+
+// CliqueCountGeneric solves k-CL with the generic symmetric-graph plan
+// (symmetry order instead of orientation); used to cross-check the DAG path.
+func CliqueCountGeneric(g *graph.Graph, k int, o Options) (int64, error) {
+	pl, err := plan.Compile(pattern.KClique(k), plan.Options{})
+	if err != nil {
+		return 0, err
+	}
+	res, err := Mine(g, pl, o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count(), nil
+}
+
+// SubgraphListing solves SL: the number of edge-induced subgraphs of g
+// isomorphic to p. (Engines count rather than materialize; the per-embedding
+// callback lives in the examples.)
+func SubgraphListing(g *graph.Graph, p *pattern.Pattern, o Options) (int64, error) {
+	pl, err := plan.Compile(p, plan.Options{})
+	if err != nil {
+		return 0, err
+	}
+	res, err := Mine(g, pl, o)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count(), nil
+}
+
+// MotifCounts solves k-MC: vertex-induced counts of every connected k-vertex
+// motif, in pattern.Motifs(k) order.
+func MotifCounts(g *graph.Graph, k int, o Options) ([]int64, []*pattern.Pattern, error) {
+	pl, err := plan.CompileMotifs(k, plan.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Mine(g, pl, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Counts, pl.Patterns, nil
+}
+
+// App identifies one of the paper's benchmark applications in CLIs and the
+// experiment harness.
+type App struct {
+	Name    string
+	Run     func(g *graph.Graph, o Options) ([]int64, error)
+	Induced bool
+}
+
+// StandardApps returns the benchmark set used across the evaluation:
+// TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC (Fig 13).
+func StandardApps() []App {
+	return []App{
+		{Name: "TC", Run: func(g *graph.Graph, o Options) ([]int64, error) {
+			c, err := TriangleCount(g, o)
+			return []int64{c}, err
+		}},
+		{Name: "4-CL", Run: func(g *graph.Graph, o Options) ([]int64, error) {
+			c, err := CliqueCount(g, 4, o)
+			return []int64{c}, err
+		}},
+		{Name: "5-CL", Run: func(g *graph.Graph, o Options) ([]int64, error) {
+			c, err := CliqueCount(g, 5, o)
+			return []int64{c}, err
+		}},
+		{Name: "SL-4cycle", Run: func(g *graph.Graph, o Options) ([]int64, error) {
+			c, err := SubgraphListing(g, pattern.FourCycle(), o)
+			return []int64{c}, err
+		}},
+		{Name: "SL-diamond", Run: func(g *graph.Graph, o Options) ([]int64, error) {
+			c, err := SubgraphListing(g, pattern.Diamond(), o)
+			return []int64{c}, err
+		}},
+		{Name: "3-MC", Induced: true, Run: func(g *graph.Graph, o Options) ([]int64, error) {
+			cs, _, err := MotifCounts(g, 3, o)
+			return cs, err
+		}},
+	}
+}
+
+// AppByName resolves an App from its display name.
+func AppByName(name string) (App, error) {
+	for _, a := range StandardApps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("core: unknown app %q", name)
+}

@@ -1,0 +1,78 @@
+package core
+
+// Brute-force reference counters, used only as test oracles. They implement
+// the textbook definitions directly:
+//
+//	edge-induced copies  = |{injective f: V(P)→V(G) preserving edges}| / |Aut(P)|
+//	vertex-induced copies = same with non-edges preserved too
+//
+// Complexity is O(n^k); callers keep graphs tiny.
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// BruteCount counts distinct copies of p in g. induced selects
+// vertex-induced semantics.
+func BruteCount(g *graph.Graph, p *pattern.Pattern, induced bool) int64 {
+	k := p.Size()
+	n := g.NumVertices()
+	if k > n {
+		return 0
+	}
+	maps := bruteEmbeddings(g, p, induced, k, n)
+	return maps / int64(p.AutomorphismCount())
+}
+
+// bruteEmbeddings counts injective homomorphisms via straightforward
+// backtracking over pattern vertices in label order.
+func bruteEmbeddings(g *graph.Graph, p *pattern.Pattern, induced bool, k, n int) int64 {
+	assign := make([]graph.VID, k)
+	used := make(map[graph.VID]bool, k)
+	var total int64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			total++
+			return
+		}
+		for v := 0; v < n; v++ {
+			w := graph.VID(v)
+			if used[w] {
+				continue
+			}
+			ok := true
+			for j := 0; j < i && ok; j++ {
+				pe := p.HasEdge(i, j)
+				ge := g.Connected(assign[j], w)
+				if pe && !ge {
+					ok = false
+				}
+				if induced && !pe && ge {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[i] = w
+			used[w] = true
+			rec(i + 1)
+			used[w] = false
+		}
+	}
+	rec(0)
+	return total
+}
+
+// BruteMotifCensus counts every connected k-motif (vertex-induced) by brute
+// force, returned in pattern.Motifs(k) order.
+func BruteMotifCensus(g *graph.Graph, k int) []int64 {
+	motifs := pattern.Motifs(k)
+	out := make([]int64, len(motifs))
+	for i, m := range motifs {
+		out[i] = BruteCount(g, m, true)
+	}
+	return out
+}

@@ -1,0 +1,423 @@
+// Package core contains the paper's algorithmic core running on the CPU: the
+// plan-driven pattern-aware DFS engine (the software baseline FlexMiner is
+// compared against — GraphZero [57] with symmetry breaking and frontier
+// memoization, or AutoMine [58] when the plan is compiled without symmetry),
+// plus the pattern-oblivious ESU engine and a brute-force reference counter
+// used as test oracles, and the four GPM applications of §II-A.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cmap"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/setops"
+)
+
+// CMapMode selects the connectivity-map implementation used by the engine.
+type CMapMode int
+
+const (
+	// CMapNone performs all connectivity checks with merge-based set
+	// operations (the GraphZero baseline configuration).
+	CMapNone CMapMode = iota
+	// CMapVector uses the dense |V|-sized software c-map of prior work.
+	CMapVector
+	// CMapHash uses the paper's banked linear-probing hash map model, with
+	// overflow fallback to set operations.
+	CMapHash
+)
+
+// Options configure a mining run.
+type Options struct {
+	// Threads is the worker count; 0 means GOMAXPROCS. The paper's CPU
+	// baseline runs 20 threads.
+	Threads int
+
+	// CMap selects the connectivity-map mode (default CMapNone).
+	CMap CMapMode
+
+	// CMapBytes sizes the hash c-map (default 8 kB, the paper's choice);
+	// only used with CMapHash.
+	CMapBytes int
+
+	// CMapBanks is the hash c-map bank count (default 4).
+	CMapBanks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.CMapBytes <= 0 {
+		o.CMapBytes = 8 << 10
+	}
+	if o.CMapBanks <= 0 {
+		o.CMapBanks = 4
+	}
+	return o
+}
+
+// Stats aggregates per-run instrumentation.
+type Stats struct {
+	Tasks           int64 // root tasks executed
+	Extensions      int64 // vertices pushed onto ancestor stacks
+	Candidates      int64 // candidates emitted after pruning
+	SetOpIterations int64 // merge-loop iterations (SIU/SDU work proxy)
+	FrontierReuses  int64 // candidate lists built from a memoized frontier
+	CMap            cmap.Stats
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Tasks += o.Tasks
+	s.Extensions += o.Extensions
+	s.Candidates += o.Candidates
+	s.SetOpIterations += o.SetOpIterations
+	s.FrontierReuses += o.FrontierReuses
+	s.CMap.Lookups += o.CMap.Lookups
+	s.CMap.Hits += o.CMap.Hits
+	s.CMap.Inserts += o.CMap.Inserts
+	s.CMap.Removes += o.CMap.Removes
+	s.CMap.Probes += o.CMap.Probes
+	s.CMap.Overflows += o.CMap.Overflows
+}
+
+// Result is the outcome of a mining run: one count per plan pattern.
+type Result struct {
+	Counts []int64
+	Stats  Stats
+}
+
+// Count returns the single-pattern count.
+func (r Result) Count() int64 { return r.Counts[0] }
+
+// Engine mines a graph according to a compiled plan.
+type Engine struct {
+	g  *graph.Graph
+	pl *plan.Plan
+	o  Options
+}
+
+// NewEngine validates the plan/graph pairing and returns an engine.
+func NewEngine(g *graph.Graph, pl *plan.Plan, o Options) (*Engine, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if pl.RequiresDAG && !g.IsDAG {
+		return nil, fmt.Errorf("core: plan %q requires an oriented DAG input (use graph.Orient)", pl.Patterns[0].Name())
+	}
+	if !pl.RequiresDAG && g.IsDAG {
+		return nil, fmt.Errorf("core: plan %q requires a symmetric graph, got a DAG", pl.Patterns[0].Name())
+	}
+	return &Engine{g: g, pl: pl, o: o.withDefaults()}, nil
+}
+
+// Mine compiles nothing and assumes the plan is final: it runs the parallel
+// DFS over all start vertices and returns per-pattern counts.
+func (e *Engine) Mine() Result {
+	n := e.g.NumVertices()
+	threads := e.o.Threads
+	if threads > n && n > 0 {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	var next int64
+	const chunk = 16
+	results := make([]Result, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			w := newWorker(e.g, e.pl, e.o)
+			for {
+				start := atomic.AddInt64(&next, chunk) - chunk
+				if start >= int64(n) {
+					break
+				}
+				end := start + chunk
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for v := start; v < end; v++ {
+					w.runTask(graph.VID(v))
+				}
+			}
+			results[t] = Result{Counts: w.counts, Stats: w.stats}
+		}(t)
+	}
+	wg.Wait()
+	total := Result{Counts: make([]int64, len(e.pl.Patterns))}
+	for _, r := range results {
+		for i, c := range r.Counts {
+			total.Counts[i] += c
+		}
+		total.Stats.add(&r.Stats)
+	}
+	for i := range total.Counts {
+		total.Counts[i] /= e.pl.CountDivisor[i]
+	}
+	return total
+}
+
+// Mine is the convenience one-shot: build an engine and run it.
+func Mine(g *graph.Graph, pl *plan.Plan, o Options) (Result, error) {
+	e, err := NewEngine(g, pl, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Mine(), nil
+}
+
+// worker holds the per-thread DFS state: the ancestor stack, per-level
+// candidate buffers (which double as memoized frontiers), and the c-map.
+type worker struct {
+	g  *graph.Graph
+	pl *plan.Plan
+	o  Options
+
+	emb       []graph.VID   // ancestor stack
+	levels    [][]graph.VID // per-level candidate buffers / frontiers
+	mergeA    []graph.VID   // ping-pong scratch for chained merges
+	mergeB    []graph.VID
+	cm        cmap.Map
+	cmLevelOK []bool // c-map insertion succeeded at level (no overflow)
+
+	counts []int64
+	stats  Stats
+
+	// visit, when set, is invoked once per full match instead of bulk
+	// leaf counting (see List).
+	visit Visitor
+}
+
+func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
+	w := &worker{
+		g:         g,
+		pl:        pl,
+		o:         o,
+		emb:       make([]graph.VID, pl.K),
+		levels:    make([][]graph.VID, pl.K),
+		cmLevelOK: make([]bool, pl.K),
+		counts:    make([]int64, len(pl.Patterns)),
+	}
+	for i := range w.levels {
+		w.levels[i] = make([]graph.VID, 0, g.MaxDegree())
+	}
+	switch o.CMap {
+	case CMapVector:
+		w.cm = cmap.NewVector(g.NumVertices())
+	case CMapHash:
+		w.cm = cmap.NewHashMapBytes(o.CMapBytes, o.CMapBanks)
+	}
+	return w
+}
+
+// runTask explores the full subtree rooted at start vertex v0.
+func (w *worker) runTask(v0 graph.VID) {
+	w.stats.Tasks++
+	root := w.pl.Root
+	w.emb[0] = v0
+	w.stats.Extensions++
+	inserted := w.cmapInsert(root.Op, 0, v0)
+	for _, c := range root.Children {
+		w.walk(c, 1)
+	}
+	if inserted {
+		// Self-cleaning during backtracking (§VI): removing the root level
+		// leaves the map empty for the next task.
+		w.cmapRemove(root.Op, 0, v0)
+	}
+}
+
+// walk matches the vertex for node n at the given depth and recurses.
+func (w *worker) walk(n *plan.Node, depth int) {
+	cands := w.candidates(n.Op, depth)
+	w.stats.Candidates += int64(len(cands))
+	if n.IsLeaf() {
+		w.counts[n.PatternIdx] += int64(len(cands))
+		if w.visit != nil {
+			for _, v := range cands {
+				w.emb[depth] = v
+				w.visit(w.emb[:depth+1], n.PatternIdx)
+			}
+		}
+		return
+	}
+	for _, v := range cands {
+		w.emb[depth] = v
+		w.stats.Extensions++
+		inserted := w.cmapInsert(n.Op, depth, v)
+		for _, c := range n.Children {
+			w.walk(c, depth+1)
+		}
+		if inserted {
+			w.cmapRemove(n.Op, depth, v)
+		}
+	}
+}
+
+func (w *worker) cmapInsert(op plan.VertexOp, depth int, v graph.VID) bool {
+	if w.cm == nil || !op.InsertCMap {
+		return false
+	}
+	ok := w.cm.TryInsertLevel(w.g.Adj(v), depth, w.cmapBound(op))
+	w.cmLevelOK[depth] = ok
+	return ok
+}
+
+func (w *worker) cmapRemove(op plan.VertexOp, depth int, v graph.VID) {
+	w.cm.RemoveLevel(w.g.Adj(v), depth, w.cmapBound(op))
+	w.cmLevelOK[depth] = false
+}
+
+func (w *worker) cmapBound(op plan.VertexOp) graph.VID {
+	if op.CMapBound == plan.NoLevel {
+		return cmap.NoBound
+	}
+	return w.emb[op.CMapBound]
+}
+
+// bound returns the effective ID upper bound: the minimum over the op's
+// symmetry-order bounds, or NoBound.
+func (w *worker) bound(op plan.VertexOp) graph.VID {
+	b := setops.NoBound
+	for _, idx := range op.UpperBounds {
+		if v := w.emb[idx]; v < b {
+			b = v
+		}
+	}
+	return b
+}
+
+// candidates computes the qualified candidate list for op into the per-level
+// buffer, applying (in order) the frontier/adjacency base, the symmetry
+// bound, connectivity constraints (via c-map queries when covered, merge set
+// operations otherwise) and explicit distinctness checks.
+func (w *worker) candidates(op plan.VertexOp, depth int) []graph.VID {
+	bound := w.bound(op)
+
+	var base []graph.VID
+	var intersect, difference []int
+	if op.FrontierBase != plan.NoLevel {
+		base = setops.Bounded(w.levels[op.FrontierBase], bound)
+		intersect, difference = op.IntersectWith, op.DifferenceWith
+		w.stats.FrontierReuses++
+	} else {
+		base = setops.Bounded(w.g.Adj(w.emb[op.Extender]), bound)
+		intersect, difference = op.Connected, op.Disconnected
+	}
+
+	out := w.levels[depth][:0]
+	if w.cmapCovers(intersect, difference) {
+		out = w.filterViaCMap(out, base, op, intersect, difference)
+	} else {
+		out = w.filterViaMerge(out, base, op, intersect, difference, bound)
+	}
+	w.levels[depth] = out
+	return out
+}
+
+// cmapCovers reports whether every queried level was successfully inserted
+// into the c-map (hint present and no overflow).
+func (w *worker) cmapCovers(intersect, difference []int) bool {
+	if w.cm == nil {
+		return false
+	}
+	if len(intersect) == 0 && len(difference) == 0 {
+		return false // nothing to query; plain iteration is cheaper
+	}
+	for _, j := range intersect {
+		if !w.cmLevelOK[j] {
+			return false
+		}
+	}
+	for _, j := range difference {
+		if !w.cmLevelOK[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// filterViaCMap checks each base element's connectivity with single c-map
+// lookups (§VI: "all the set operations can be replaced by querying the
+// c-map").
+func (w *worker) filterViaCMap(out, base []graph.VID, op plan.VertexOp, intersect, difference []int) []graph.VID {
+	var need, avoid cmap.Bits
+	for _, j := range intersect {
+		need |= 1 << uint(j)
+	}
+	for _, j := range difference {
+		avoid |= 1 << uint(j)
+	}
+	for _, v := range base {
+		bits := w.cm.Lookup(v)
+		if bits&need != need || bits&avoid != 0 {
+			continue
+		}
+		if !w.distinct(v, op) {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// filterViaMerge applies merge-based set intersections/differences (the
+// SIU/SDU path) and then the distinctness filter.
+func (w *worker) filterViaMerge(out, base []graph.VID, op plan.VertexOp, intersect, difference []int, bound graph.VID) []graph.VID {
+	// Chained merges ping-pong between two worker-owned scratch buffers;
+	// base (graph adjacency or a memoized frontier) is never written.
+	cur := base
+	useA := true
+	step := func(j int, diff bool) {
+		dst := w.mergeB[:0]
+		if useA {
+			dst = w.mergeA[:0]
+		}
+		var iters int64
+		if diff {
+			dst, iters = setops.DifferenceCost(dst, cur, w.g.Adj(w.emb[j]), bound)
+		} else {
+			dst, iters = setops.IntersectCost(dst, cur, w.g.Adj(w.emb[j]), bound)
+		}
+		w.stats.SetOpIterations += iters
+		if useA {
+			w.mergeA = dst
+		} else {
+			w.mergeB = dst
+		}
+		cur = dst
+		useA = !useA
+	}
+	for _, j := range intersect {
+		step(j, false)
+	}
+	for _, j := range difference {
+		step(j, true)
+	}
+	for _, v := range cur {
+		if w.distinct(v, op) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// distinct applies the explicit inequality checks the compiler could not
+// prove away.
+func (w *worker) distinct(v graph.VID, op plan.VertexOp) bool {
+	for _, j := range op.NotEqual {
+		if w.emb[j] == v {
+			return false
+		}
+	}
+	return true
+}

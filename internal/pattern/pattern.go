@@ -1,0 +1,299 @@
+// Package pattern represents the small query graphs ("patterns") that GPM
+// searches for, together with the analyses the FlexMiner compiler needs:
+// subgraph-isomorphism tests, automorphism groups, canonical codes and
+// connected-pattern enumeration (for k-motif counting).
+//
+// Patterns are tiny (the paper evaluates up to 9 vertices and the hardware
+// c-map supports up to 10), so we store adjacency as per-vertex bitsets in a
+// fixed array and use exhaustive permutation algorithms freely.
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// MaxVertices bounds pattern size. The paper's c-map value field is 8 bits,
+// supporting patterns within 10 vertices; 16 gives headroom for experiments.
+const MaxVertices = 16
+
+// Pattern is an undirected simple graph on k ≤ MaxVertices vertices labeled
+// 0..k-1. adj[i] is a bitmask of i's neighbors.
+type Pattern struct {
+	k    int
+	adj  [MaxVertices]uint32
+	name string
+}
+
+// New creates an empty (edgeless) pattern with k vertices.
+func New(k int) *Pattern {
+	if k < 1 || k > MaxVertices {
+		panic(fmt.Sprintf("pattern: size %d out of range [1,%d]", k, MaxVertices))
+	}
+	return &Pattern{k: k}
+}
+
+// FromEdges builds a pattern from an explicit edge list.
+func FromEdges(k int, edges [][2]int) *Pattern {
+	p := New(k)
+	for _, e := range edges {
+		p.AddEdge(e[0], e[1])
+	}
+	return p
+}
+
+// Size returns the number of vertices k.
+func (p *Pattern) Size() int { return p.k }
+
+// Name returns the human-readable name, if one was assigned.
+func (p *Pattern) Name() string {
+	if p.name != "" {
+		return p.name
+	}
+	return fmt.Sprintf("pattern-k%d-e%d", p.k, p.NumEdges())
+}
+
+// WithName returns p after assigning a display name.
+func (p *Pattern) WithName(name string) *Pattern { p.name = name; return p }
+
+// AddEdge inserts the undirected edge {u, v}.
+func (p *Pattern) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= p.k || v >= p.k {
+		panic(fmt.Sprintf("pattern: bad edge (%d,%d) for k=%d", u, v, p.k))
+	}
+	p.adj[u] |= 1 << uint(v)
+	p.adj[v] |= 1 << uint(u)
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (p *Pattern) HasEdge(u, v int) bool { return p.adj[u]&(1<<uint(v)) != 0 }
+
+// AdjMask returns the neighbor bitmask of u.
+func (p *Pattern) AdjMask(u int) uint32 { return p.adj[u] }
+
+// Degree returns the degree of u.
+func (p *Pattern) Degree(u int) int { return bits.OnesCount32(p.adj[u]) }
+
+// NumEdges returns the number of undirected edges.
+func (p *Pattern) NumEdges() int {
+	total := 0
+	for i := 0; i < p.k; i++ {
+		total += p.Degree(i)
+	}
+	return total / 2
+}
+
+// Edges returns the undirected edge list with u < v, sorted.
+func (p *Pattern) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < p.k; u++ {
+		m := p.adj[u] >> uint(u+1) << uint(u+1)
+		for m != 0 {
+			v := bits.TrailingZeros32(m)
+			out = append(out, [2]int{u, v})
+			m &= m - 1
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (p *Pattern) Clone() *Pattern {
+	q := *p
+	return &q
+}
+
+// Relabel returns the pattern with vertex i renamed to perm[i].
+func (p *Pattern) Relabel(perm []int) *Pattern {
+	q := New(p.k)
+	q.name = p.name
+	for _, e := range p.Edges() {
+		q.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return q
+}
+
+// IsConnected reports whether the pattern is connected. GPM is defined over
+// connected patterns; the compiler rejects disconnected ones.
+func (p *Pattern) IsConnected() bool {
+	if p.k == 1 {
+		return true
+	}
+	seen := uint32(1)
+	frontier := uint32(1)
+	for frontier != 0 {
+		next := uint32(0)
+		for m := frontier; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros32(m)
+			next |= p.adj[v]
+		}
+		next &^= seen
+		seen |= next
+		frontier = next
+	}
+	return bits.OnesCount32(seen) == p.k
+}
+
+// IsClique reports whether the pattern is the complete graph K_k.
+func (p *Pattern) IsClique() bool {
+	return p.NumEdges() == p.k*(p.k-1)/2
+}
+
+// Equal reports structural equality under the identity labeling.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p.k != q.k {
+		return false
+	}
+	for i := 0; i < p.k; i++ {
+		if p.adj[i] != q.adj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the pattern as name + edge list, e.g. "4-cycle{0-1 1-2 2-3 0-3}".
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Name())
+	sb.WriteByte('{')
+	for i, e := range p.Edges() {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d-%d", e[0], e[1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// permutations invokes f with every permutation of 0..n-1. f must not retain
+// the slice. Heap's algorithm, iterative.
+func permutations(n int, f func(perm []int) bool) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	c := make([]int, n)
+	if !f(perm) {
+		return
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if !f(perm) {
+				return
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// Automorphisms returns every permutation φ of the vertices with
+// φ(P) = P, as freshly allocated slices. The identity is always included.
+func (p *Pattern) Automorphisms() [][]int {
+	var out [][]int
+	permutations(p.k, func(perm []int) bool {
+		if p.isAutomorphism(perm) {
+			cp := make([]int, p.k)
+			copy(cp, perm)
+			out = append(out, cp)
+		}
+		return true
+	})
+	return out
+}
+
+func (p *Pattern) isAutomorphism(perm []int) bool {
+	for u := 0; u < p.k; u++ {
+		for m := p.adj[u]; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros32(m)
+			if !p.HasEdge(perm[u], perm[v]) {
+				return false
+			}
+		}
+		if p.Degree(u) != p.Degree(perm[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AutomorphismCount returns |Aut(P)|.
+func (p *Pattern) AutomorphismCount() int { return len(p.Automorphisms()) }
+
+// IsIsomorphic reports whether p and q are isomorphic (exhaustive, fine for
+// pattern sizes).
+func (p *Pattern) IsIsomorphic(q *Pattern) bool {
+	if p.k != q.k || p.NumEdges() != q.NumEdges() {
+		return false
+	}
+	if p.degreeSig() != q.degreeSig() {
+		return false
+	}
+	found := false
+	permutations(p.k, func(perm []int) bool {
+		ok := true
+		for u := 0; u < p.k && ok; u++ {
+			for m := p.adj[u]; m != 0; m &= m - 1 {
+				v := bits.TrailingZeros32(m)
+				if !q.HasEdge(perm[u], perm[v]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (p *Pattern) degreeSig() string {
+	d := make([]int, p.k)
+	for i := range d {
+		d[i] = p.Degree(i)
+	}
+	sort.Ints(d)
+	return fmt.Sprint(d)
+}
+
+// CanonicalCode returns a label-invariant canonical form: the lexicographically
+// smallest upper-triangular adjacency bit string over all relabelings. Two
+// patterns are isomorphic iff their codes are equal. Used to classify motifs.
+func (p *Pattern) CanonicalCode() uint64 {
+	best := uint64(1<<63 - 1)
+	first := true
+	permutations(p.k, func(perm []int) bool {
+		var code uint64
+		bit := 0
+		for i := 0; i < p.k; i++ {
+			for j := i + 1; j < p.k; j++ {
+				if p.HasEdge(perm[i], perm[j]) {
+					code |= 1 << uint(bit)
+				}
+				bit++
+			}
+		}
+		if first || code < best {
+			best = code
+			first = false
+		}
+		return true
+	})
+	return best | uint64(p.k)<<48 // disambiguate sizes
+}

@@ -1,0 +1,364 @@
+// Package plan implements the FlexMiner compiler (§V of the paper): it turns
+// a pattern (or set of patterns) into a pattern-specific execution plan — the
+// intermediate representation (IR) that is "downloaded" into the accelerator
+// and that the CPU engines interpret.
+//
+// A plan captures, per search-tree level,
+//
+//   - the matching order (which pattern vertex is matched at which depth and
+//     from whose adjacency list candidates are drawn),
+//   - the symmetry order (vertex-ID bounds that break automorphisms, §II-B),
+//   - connectivity constraints (the pruneBy connected-ancestor set,
+//     Listing 1), and
+//   - storage-management hints: which levels insert their neighbor lists into
+//     the c-map and under which ID bound (§VI-B), and which candidate
+//     frontiers are memoized and reused (§V-C).
+//
+// Multi-pattern problems compile to a dependency tree whose common prefix is
+// merged (Listing 2); single patterns are a degenerate chain.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+)
+
+// NoLevel marks an absent level reference in VertexOp fields.
+const NoLevel = -1
+
+// VertexOp describes how the vertex at one search-tree level is extended and
+// pruned. Level indices refer to positions in the current embedding (the
+// ancestor stack): level 0 is the task vertex v0.
+type VertexOp struct {
+	// Level is this op's depth in the search tree (0-based).
+	Level int
+
+	// Extender is the embedding index whose adjacency list supplies the
+	// candidates (the "v_i ∈ v_e.N" part of the IR). NoLevel at level 0,
+	// where candidates are all of V.
+	Extender int
+
+	// Connected lists embedding indices, other than Extender, that the
+	// candidate must be adjacent to (the pruneBy connected-ancestor set).
+	Connected []int
+
+	// Disconnected lists embedding indices the candidate must NOT be
+	// adjacent to. Empty for edge-induced plans; vertex-induced plans
+	// (k-motif counting) list every non-adjacent ancestor here.
+	Disconnected []int
+
+	// UpperBounds lists embedding indices b with the symmetry-order
+	// constraint candidate < emb[b]. The engine applies the minimum.
+	UpperBounds []int
+
+	// NotEqual lists embedding indices the candidate must be explicitly
+	// checked against for distinctness; indices whose inequality is already
+	// implied by adjacency or bounds are omitted by the compiler.
+	NotEqual []int
+
+	// FrontierBase, if not NoLevel, names an earlier level whose memoized
+	// candidate frontier is a valid starting set for this level: this op's
+	// candidates equal that frontier intersected with the adjacency of the
+	// IntersectWith levels (minus DifferenceWith), under this op's bounds.
+	FrontierBase int
+
+	// IntersectWith / DifferenceWith are the residual source levels to
+	// apply on top of FrontierBase. When FrontierBase is NoLevel they are
+	// derived from Extender/Connected/Disconnected instead and left empty.
+	IntersectWith  []int
+	DifferenceWith []int
+
+	// MemoizeFrontier marks that this level's qualified candidate list will
+	// be reused by a deeper level and should be kept in the PE-local cache
+	// (frontier-list table, §IV-A).
+	MemoizeFrontier bool
+
+	// InsertCMap marks that, once this level's vertex is fixed, its
+	// neighbor list should be inserted into the c-map because a deeper
+	// level checks connectivity against it (§VI-B).
+	InsertCMap bool
+
+	// CMapBound, if not NoLevel, is an embedding index b such that only
+	// neighbors with ID < emb[b] need to be inserted into the c-map — the
+	// compiler-derived footprint reduction of §VI-B.
+	CMapBound int
+
+	// CMapQuery lists the embedding indices whose connectivity this op
+	// checks via the c-map (Connected ∪ Disconnected minus the extender).
+	CMapQuery []int
+}
+
+// clone returns a deep copy of the op.
+func (op VertexOp) clone() VertexOp {
+	cp := op
+	cp.Connected = append([]int(nil), op.Connected...)
+	cp.Disconnected = append([]int(nil), op.Disconnected...)
+	cp.UpperBounds = append([]int(nil), op.UpperBounds...)
+	cp.NotEqual = append([]int(nil), op.NotEqual...)
+	cp.IntersectWith = append([]int(nil), op.IntersectWith...)
+	cp.DifferenceWith = append([]int(nil), op.DifferenceWith...)
+	cp.CMapQuery = append([]int(nil), op.CMapQuery...)
+	return cp
+}
+
+// structurallyEqual reports whether two ops describe the same extension step
+// (used when merging multi-pattern dependency chains into a tree).
+func (a VertexOp) structurallyEqual(b VertexOp) bool {
+	return a.Level == b.Level &&
+		a.Extender == b.Extender &&
+		intsEqual(a.Connected, b.Connected) &&
+		intsEqual(a.Disconnected, b.Disconnected) &&
+		intsEqual(a.UpperBounds, b.UpperBounds)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is one vertex-extension step in a (possibly multi-pattern) dependency
+// tree. A chain of Nodes is the single-pattern case; branching encodes the
+// divergence of multiple patterns after a merged common prefix (Listing 2).
+type Node struct {
+	Op       VertexOp
+	Children []*Node
+
+	// PatternIdx is the index into Plan.Patterns of the pattern completed
+	// when this node's level is matched; NoLevel (-1) for interior nodes.
+	PatternIdx int
+}
+
+// IsLeaf reports whether a completed match at this node should be counted.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Plan is a compiled execution plan.
+type Plan struct {
+	// Patterns are the mined patterns; counters are reported in this order.
+	Patterns []*pattern.Pattern
+
+	// Root is the level-0 op (task vertex); the tree below it spells out
+	// every deeper extension step.
+	Root *Node
+
+	// K is the maximum embedding size (pattern size).
+	K int
+
+	// Induced records vertex-induced matching semantics (k-motif counting);
+	// false means edge-induced (TC, k-CL, SL).
+	Induced bool
+
+	// RequiresDAG marks plans compiled for a degree-oriented DAG input
+	// (the k-clique orientation optimization of §V-C): the engine must be
+	// given g.Orient() and no symmetry bounds are present.
+	RequiresDAG bool
+
+	// CountDivisor holds, per pattern, the factor raw match counts must be
+	// divided by. It is 1 with symmetry breaking; plans compiled with
+	// Options.NoSymmetry (the AutoMine baseline mode) set it to |Aut(P)|,
+	// since every copy is then found once per automorphism.
+	CountDivisor []int64
+
+	// less[a][b] records that emb[a] < emb[b] is provable from the symmetry
+	// order (transitively closed); used to justify hint validity.
+	less [][]bool
+}
+
+// Less reports whether the symmetry order proves emb[a] < emb[b].
+func (p *Plan) Less(a, b int) bool { return p.less[a][b] }
+
+// SinglePattern reports whether the plan mines exactly one pattern.
+func (p *Plan) SinglePattern() bool { return len(p.Patterns) == 1 }
+
+// Chain returns the ops of a single-pattern plan as a flat slice, or nil if
+// the plan branches.
+func (p *Plan) Chain() []VertexOp {
+	var ops []VertexOp
+	for n := p.Root; n != nil; {
+		ops = append(ops, n.Op)
+		switch len(n.Children) {
+		case 0:
+			n = nil
+		case 1:
+			n = n.Children[0]
+		default:
+			return nil
+		}
+	}
+	return ops
+}
+
+// Validate checks structural invariants of the plan; engines call it once
+// before mining.
+func (p *Plan) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("plan: nil root")
+	}
+	if len(p.Patterns) == 0 {
+		return fmt.Errorf("plan: no patterns")
+	}
+	seen := make([]bool, len(p.Patterns))
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		op := n.Op
+		if op.Level != depth {
+			return fmt.Errorf("plan: node at depth %d has level %d", depth, op.Level)
+		}
+		if depth == 0 {
+			if op.Extender != NoLevel {
+				return fmt.Errorf("plan: level-0 op must have no extender")
+			}
+		} else if op.Extender < 0 || op.Extender >= depth {
+			return fmt.Errorf("plan: level %d extender %d out of range", depth, op.Extender)
+		}
+		for _, set := range [][]int{op.Connected, op.Disconnected, op.UpperBounds, op.NotEqual, op.IntersectWith, op.DifferenceWith, op.CMapQuery} {
+			for _, j := range set {
+				if j < 0 || j >= depth {
+					return fmt.Errorf("plan: level %d references out-of-range level %d", depth, j)
+				}
+			}
+		}
+		if op.FrontierBase != NoLevel && (op.FrontierBase < 1 || op.FrontierBase >= depth) {
+			return fmt.Errorf("plan: level %d frontier base %d out of range", depth, op.FrontierBase)
+		}
+		if n.IsLeaf() {
+			if depth != p.K-1 {
+				return fmt.Errorf("plan: leaf at depth %d, want %d", depth, p.K-1)
+			}
+			if n.PatternIdx < 0 || n.PatternIdx >= len(p.Patterns) {
+				return fmt.Errorf("plan: leaf pattern index %d out of range", n.PatternIdx)
+			}
+			if seen[n.PatternIdx] {
+				return fmt.Errorf("plan: pattern %d has multiple leaves", n.PatternIdx)
+			}
+			seen[n.PatternIdx] = true
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(p.Root, 0); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("plan: pattern %d (%s) has no leaf", i, p.Patterns[i].Name())
+		}
+	}
+	return nil
+}
+
+// String renders the plan in the paper's Listing 1/2 IR style: a vertex
+// section of pruneBy primitives and an embedding section of dependency links.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan for %s", p.Patterns[0].Name())
+	for _, q := range p.Patterns[1:] {
+		fmt.Fprintf(&sb, ", %s", q.Name())
+	}
+	if p.Induced {
+		sb.WriteString(" (vertex-induced)")
+	}
+	if p.RequiresDAG {
+		sb.WriteString(" (oriented DAG)")
+	}
+	sb.WriteString("\nvertex:\n")
+	var ids []string
+	var walkV func(n *Node, label string)
+	walkV = func(n *Node, label string) {
+		op := n.Op
+		// The op's own label must be addressable (a c-map bound may refer
+		// to the op's own level, e.g. "insert only neighbors < v0" at v0).
+		ids = append(ids, label)
+		src := "V"
+		if op.Extender != NoLevel {
+			src = fmt.Sprintf("v%s.N", ids[op.Extender])
+		}
+		bound := "inf"
+		if len(op.UpperBounds) > 0 {
+			parts := make([]string, len(op.UpperBounds))
+			for i, b := range op.UpperBounds {
+				parts[i] = fmt.Sprintf("v%s.id", ids[b])
+			}
+			bound = strings.Join(parts, ",")
+		}
+		conn := make([]string, len(op.Connected))
+		for i, c := range op.Connected {
+			conn[i] = "v" + ids[c]
+		}
+		line := fmt.Sprintf("  v%-3s in %-8s pruneBy(%s, {%s})", label, src, bound, strings.Join(conn, ","))
+		if len(op.Disconnected) > 0 {
+			dis := make([]string, len(op.Disconnected))
+			for i, d := range op.Disconnected {
+				dis[i] = "v" + ids[d]
+			}
+			line += fmt.Sprintf(" notAdj{%s}", strings.Join(dis, ","))
+		}
+		var hints []string
+		if op.InsertCMap {
+			h := "cmap-insert"
+			if op.CMapBound != NoLevel {
+				h += fmt.Sprintf("(<v%s)", ids[op.CMapBound])
+			}
+			hints = append(hints, h)
+		}
+		if op.MemoizeFrontier {
+			hints = append(hints, "memoize")
+		}
+		if op.FrontierBase != NoLevel {
+			hints = append(hints, fmt.Sprintf("reuse(v%s)", ids[op.FrontierBase]))
+		}
+		if len(hints) > 0 {
+			line += "  // " + strings.Join(hints, ", ")
+		}
+		sb.WriteString(line + "\n")
+		for i, c := range n.Children {
+			sub := label
+			if len(n.Children) > 1 {
+				sub = fmt.Sprintf("%s.%d", label, i+1)
+			}
+			_ = sub
+			next := fmt.Sprint(op.Level + 1)
+			if len(n.Children) > 1 {
+				next = fmt.Sprintf("%d%c", op.Level+1, 'a'+i)
+			}
+			walkV(c, next)
+		}
+		ids = ids[:len(ids)-1]
+	}
+	walkV(p.Root, "0")
+	sb.WriteString("embedding:\n")
+	var walkE func(n *Node, prev, label string)
+	walkE = func(n *Node, prev, label string) {
+		if n.Op.Level == 0 {
+			fmt.Fprintf(&sb, "  emb0 := v0\n")
+		} else {
+			fmt.Fprintf(&sb, "  emb%-3s := emb%s + v%s", label, prev, label)
+			if n.IsLeaf() {
+				fmt.Fprintf(&sb, "   // matches %s", p.Patterns[n.PatternIdx].Name())
+			}
+			sb.WriteString("\n")
+		}
+		for i, c := range n.Children {
+			next := fmt.Sprint(n.Op.Level + 1)
+			if len(n.Children) > 1 {
+				next = fmt.Sprintf("%d%c", n.Op.Level+1, 'a'+i)
+			}
+			walkE(c, label, next)
+		}
+	}
+	walkE(p.Root, "", "0")
+	return sb.String()
+}

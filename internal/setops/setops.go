@@ -1,0 +1,179 @@
+// Package setops implements the merge-based sorted-set operations that
+// dominate GPM runtime (§III): intersection, difference and their counting
+// and bounded variants. The paper's SIU (set intersection unit) and SDU (set
+// difference unit) execute one merge-loop iteration per cycle (Fig 9); the
+// instrumented variants here report that iteration count so the simulator can
+// charge exact SIU/SDU cycles.
+//
+// All inputs must be ascending sorted unique vertex-ID slices, as produced by
+// the graph package.
+package setops
+
+import "repro/internal/graph"
+
+// VID aliases the graph vertex ID type.
+type VID = graph.VID
+
+// NoBound disables the ID upper bound in the *Below variants.
+const NoBound = ^VID(0)
+
+// Intersect appends a ∩ b to dst and returns it.
+func Intersect(dst, a, b []VID) []VID {
+	dst, _ = IntersectCost(dst, a, b, NoBound)
+	return dst
+}
+
+// IntersectBelow appends {x ∈ a ∩ b : x < bound} to dst and returns it.
+func IntersectBelow(dst, a, b []VID, bound VID) []VID {
+	dst, _ = IntersectCost(dst, a, b, bound)
+	return dst
+}
+
+// IntersectCost is IntersectBelow instrumented with the number of merge-loop
+// iterations executed (= SIU cycles).
+func IntersectCost(dst, a, b []VID, bound VID) ([]VID, int64) {
+	i, j := 0, 0
+	var iters int64
+	for i < len(a) && j < len(b) {
+		iters++
+		x, y := a[i], b[j]
+		if x >= bound || y >= bound {
+			break
+		}
+		switch {
+		case x == y:
+			dst = append(dst, x)
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
+		}
+	}
+	return dst, iters
+}
+
+// IntersectCount returns |a ∩ b| without materializing the result.
+func IntersectCount(a, b []VID, bound VID) int64 {
+	n, _ := IntersectCountCost(a, b, bound)
+	return n
+}
+
+// IntersectCountCost returns |{x ∈ a ∩ b : x < bound}| and merge iterations.
+func IntersectCountCost(a, b []VID, bound VID) (int64, int64) {
+	i, j := 0, 0
+	var n, iters int64
+	for i < len(a) && j < len(b) {
+		iters++
+		x, y := a[i], b[j]
+		if x >= bound || y >= bound {
+			break
+		}
+		switch {
+		case x == y:
+			n++
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
+		}
+	}
+	return n, iters
+}
+
+// Difference appends a \ b to dst and returns it.
+func Difference(dst, a, b []VID) []VID {
+	dst, _ = DifferenceCost(dst, a, b, NoBound)
+	return dst
+}
+
+// DifferenceBelow appends {x ∈ a \ b : x < bound} to dst and returns it.
+func DifferenceBelow(dst, a, b []VID, bound VID) []VID {
+	dst, _ = DifferenceCost(dst, a, b, bound)
+	return dst
+}
+
+// DifferenceCost is DifferenceBelow instrumented with merge-loop iterations
+// (= SDU cycles).
+func DifferenceCost(dst, a, b []VID, bound VID) ([]VID, int64) {
+	i, j := 0, 0
+	var iters int64
+	for i < len(a) {
+		iters++
+		x := a[i]
+		if x >= bound {
+			break
+		}
+		if j >= len(b) || x < b[j] {
+			dst = append(dst, x)
+			i++
+			continue
+		}
+		if x == b[j] {
+			i++
+			j++
+			continue
+		}
+		j++
+	}
+	return dst, iters
+}
+
+// Contains reports membership of x in the sorted slice a via galloping
+// (exponential + binary) search. Software frameworks fall back to this when
+// one side of an intersection is much smaller.
+func Contains(a []VID, x VID) bool {
+	lo, hi := 0, len(a)
+	// Gallop to bracket x.
+	step := 1
+	for lo+step < hi && a[lo+step] < x {
+		lo += step
+		step <<= 1
+	}
+	if lo+step < hi {
+		hi = lo + step + 1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == x
+}
+
+// IntersectGalloping intersects a small set a against a much larger set b by
+// galloping lookups; used by the CPU engine when len(a) << len(b).
+func IntersectGalloping(dst, a, b []VID, bound VID) []VID {
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		if Contains(b, x) {
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+// Bounded returns the prefix of a with elements < bound (a is sorted).
+func Bounded(a []VID, bound VID) []VID {
+	if bound == NoBound {
+		return a
+	}
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return a[:lo]
+}

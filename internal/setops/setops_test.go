@@ -1,0 +1,203 @@
+package setops
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sortedSet is a quick.Generator producing ascending unique VID slices.
+type sortedSet []VID
+
+func (sortedSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	seen := map[VID]bool{}
+	out := make(sortedSet, 0, n)
+	for i := 0; i < n; i++ {
+		v := VID(r.Intn(4 * (size + 1)))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return reflect.ValueOf(out)
+}
+
+// reference implementations over maps.
+func refIntersect(a, b []VID, bound VID) []VID {
+	in := map[VID]bool{}
+	for _, x := range b {
+		in[x] = true
+	}
+	out := []VID{}
+	for _, x := range a {
+		if x < bound && in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func refDifference(a, b []VID, bound VID) []VID {
+	in := map[VID]bool{}
+	for _, x := range b {
+		in[x] = true
+	}
+	out := []VID{}
+	for _, x := range a {
+		if x < bound && !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func equalSets(a, b []VID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIntersectMatchesReference(t *testing.T) {
+	f := func(a, b sortedSet, rawBound uint32) bool {
+		bound := VID(rawBound % 64)
+		if rawBound%5 == 0 {
+			bound = NoBound
+		}
+		got := IntersectBelow(nil, a, b, bound)
+		return equalSets(got, refIntersect(a, b, bound))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDifferenceMatchesReference(t *testing.T) {
+	f := func(a, b sortedSet, rawBound uint32) bool {
+		bound := VID(rawBound % 64)
+		if rawBound%5 == 0 {
+			bound = NoBound
+		}
+		got := DifferenceBelow(nil, a, b, bound)
+		return equalSets(got, refDifference(a, b, bound))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectCountMatchesMaterialized(t *testing.T) {
+	f := func(a, b sortedSet) bool {
+		return IntersectCount(a, b, NoBound) == int64(len(Intersect(nil, a, b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGallopingMatchesMerge(t *testing.T) {
+	f := func(a, b sortedSet, rawBound uint32) bool {
+		bound := VID(rawBound % 64)
+		return equalSets(
+			IntersectGalloping(nil, a, b, bound),
+			IntersectBelow(nil, a, b, bound),
+		)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := []VID{2, 3, 5, 8, 13, 21, 34, 55}
+	for _, x := range a {
+		if !Contains(a, x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []VID{0, 1, 4, 9, 22, 56, 1000} {
+		if Contains(a, x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains on empty set")
+	}
+}
+
+func TestBounded(t *testing.T) {
+	a := []VID{1, 4, 9, 16, 25}
+	cases := []struct {
+		bound VID
+		want  int
+	}{{0, 0}, {1, 0}, {2, 1}, {9, 2}, {10, 3}, {26, 5}, {NoBound, 5}}
+	for _, c := range cases {
+		if got := Bounded(a, c.bound); len(got) != c.want {
+			t.Errorf("Bounded(%d): len=%d want %d", c.bound, len(got), c.want)
+		}
+	}
+}
+
+// TestCostAccounting: iteration counts must be positive when work happens and
+// bounded by the merge-loop maximum len(a)+len(b).
+func TestCostAccounting(t *testing.T) {
+	f := func(a, b sortedSet) bool {
+		_, iters := IntersectCost(nil, a, b, NoBound)
+		if iters < 0 || iters > int64(len(a)+len(b)) {
+			return false
+		}
+		_, diters := DifferenceCost(nil, a, b, NoBound)
+		return diters >= 0 && diters <= int64(len(a)+len(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectEmptyAndDisjoint(t *testing.T) {
+	if got := Intersect(nil, nil, []VID{1, 2}); len(got) != 0 {
+		t.Errorf("empty ∩ set = %v", got)
+	}
+	if got := Intersect(nil, []VID{1, 3}, []VID{2, 4}); len(got) != 0 {
+		t.Errorf("disjoint intersect = %v", got)
+	}
+	if got := Difference(nil, []VID{1, 3}, nil); !equalSets(got, []VID{1, 3}) {
+		t.Errorf("a \\ empty = %v", got)
+	}
+}
+
+func BenchmarkIntersectMerge(b *testing.B) {
+	a := make([]VID, 1024)
+	c := make([]VID, 1024)
+	for i := range a {
+		a[i] = VID(2 * i)
+		c[i] = VID(3 * i)
+	}
+	dst := make([]VID, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst[:0], a, c)
+	}
+}
+
+func BenchmarkIntersectGalloping(b *testing.B) {
+	small := []VID{100, 500, 900, 1300, 1700}
+	big := make([]VID, 4096)
+	for i := range big {
+		big[i] = VID(i)
+	}
+	dst := make([]VID, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = IntersectGalloping(dst[:0], small, big, NoBound)
+	}
+}

@@ -1,0 +1,286 @@
+package sim
+
+// Top-level simulator: a conservative discrete-event engine. Each PE runs as
+// a coroutine (goroutine) that blocks at every *shared* event — a scheduler
+// task request or a shared-memory line fetch — while pure compute and
+// private-cache hits advance its local clock without synchronization. The
+// coordinator always resumes the pending event with the smallest simulated
+// time (ties broken by PE id), so shared resources observe requests in
+// global time order and their queueing is exact and deterministic.
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cmap"
+	"repro/internal/graph"
+	"repro/internal/plan"
+)
+
+// Stats is the full instrumentation of one simulated run.
+type Stats struct {
+	Cycles  int64   // end-to-end makespan (max PE completion)
+	Seconds float64 // Cycles / (FreqGHz × 1e9)
+
+	Tasks      int64
+	Extensions int64
+
+	// Memory-system counters (Fig 16).
+	NoCRequests  int64 // PE→shared-side requests (== L2 accesses)
+	DRAMAccesses int64
+	L1Hits       int64
+	L1Misses     int64
+	L2Hits       int64
+	L2Misses     int64
+
+	// Compute-unit counters.
+	SIUIters int64
+	SDUIters int64
+	CMap     cmap.Stats
+
+	// Per-PE utilization.
+	BusyCycles  int64
+	StallCycles int64
+	Utilization float64 // busy / (PEs × makespan)
+}
+
+// Result carries per-pattern counts (identical to the CPU engine's, by
+// construction and by test) and the timing statistics.
+type Result struct {
+	Counts []int64
+	Stats  Stats
+}
+
+// Count returns the single-pattern count.
+func (r Result) Count() int64 { return r.Counts[0] }
+
+// Speedup returns how much faster this run is than a baseline wall-clock
+// duration in seconds.
+func (r Result) Speedup(baselineSeconds float64) float64 {
+	if r.Stats.Seconds == 0 {
+		return 0
+	}
+	return baselineSeconds / r.Stats.Seconds
+}
+
+// event kinds exchanged between PE coroutines and the coordinator.
+const (
+	evNeedTask = iota // PE idle, wants the next start vertex
+	evNeedLine        // PE blocked on a shared-memory line fetch
+	evDone            // PE retired (no more tasks)
+)
+
+type event struct {
+	pe   *pe
+	kind int
+	t    int64  // PE clock at the event
+	addr uint64 // for evNeedLine
+}
+
+type simulator struct {
+	cfg Config
+	g   *graph.Graph
+	pl  *plan.Plan
+	am  addressMap
+	mem *memSystem
+	pes []*pe
+
+	evCh     chan event
+	tasks    []taskSpec
+	nextTask int
+}
+
+// taskSpec is one schedulable unit: a start vertex and, when task slicing is
+// enabled, the half-open level-1 adjacency index range it covers.
+type taskSpec struct {
+	v0     graph.VID
+	lo, hi int // level-1 adjacency element range; hi == -1 means "all"
+}
+
+// buildTasks expands the vertex set into the task list, slicing hub vertices
+// when cfg.TaskSliceElems is set.
+func buildTasks(g *graph.Graph, slice int) []taskSpec {
+	n := g.NumVertices()
+	if slice <= 0 {
+		tasks := make([]taskSpec, n)
+		for v := 0; v < n; v++ {
+			tasks[v] = taskSpec{v0: graph.VID(v), lo: 0, hi: -1}
+		}
+		return tasks
+	}
+	var tasks []taskSpec
+	for v := 0; v < n; v++ {
+		deg := g.Degree(graph.VID(v))
+		if deg == 0 {
+			tasks = append(tasks, taskSpec{v0: graph.VID(v), lo: 0, hi: -1})
+			continue
+		}
+		for lo := 0; lo < deg; lo += slice {
+			hi := lo + slice
+			if hi > deg {
+				hi = deg
+			}
+			tasks = append(tasks, taskSpec{v0: graph.VID(v), lo: lo, hi: hi})
+		}
+	}
+	return tasks
+}
+
+// Simulate runs the accelerator model over the whole graph and returns
+// counts plus statistics. The simulation is deterministic.
+func Simulate(g *graph.Graph, pl *plan.Plan, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := pl.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pl.RequiresDAG && !g.IsDAG {
+		return Result{}, fmt.Errorf("sim: plan %q requires an oriented DAG input", pl.Patterns[0].Name())
+	}
+	if !pl.RequiresDAG && g.IsDAG {
+		return Result{}, fmt.Errorf("sim: plan %q requires a symmetric graph, got a DAG", pl.Patterns[0].Name())
+	}
+	s := &simulator{
+		cfg:  cfg,
+		g:    g,
+		pl:   pl,
+		am:   newAddressMap(g.NumVertices()),
+		mem:  newMemSystem(cfg),
+		evCh: make(chan event),
+	}
+	s.tasks = buildTasks(g, cfg.TaskSliceElems)
+	s.pes = make([]*pe, cfg.PEs)
+	for i := range s.pes {
+		s.pes[i] = newPE(i, s)
+	}
+	s.run()
+	return s.collect(), nil
+}
+
+// run launches the PE coroutines and processes events in simulated-time
+// order until every PE has retired.
+func (s *simulator) run() {
+	for _, p := range s.pes {
+		go p.loop()
+	}
+	// Every live PE has exactly one outstanding event; keep them in a
+	// min-(time, id) heap and always service the earliest.
+	pq := make(eventHeap, 0, len(s.pes))
+	for range s.pes {
+		ev := <-s.evCh
+		pq = append(pq, ev)
+	}
+	heap.Init(&pq)
+	live := len(s.pes)
+	for live > 0 {
+		ev := heap.Pop(&pq).(event)
+		switch ev.kind {
+		case evDone:
+			live--
+			continue
+		case evNeedTask:
+			if s.nextTask < len(s.tasks) {
+				ev.pe.reply <- int64(s.nextTask)
+				s.nextTask++
+			} else {
+				ev.pe.reply <- -1
+			}
+		case evNeedLine:
+			ev.pe.reply <- s.mem.line(ev.addr, ev.t)
+		}
+		// The resumed PE runs until its next shared event; no other PE is
+		// runnable meanwhile, so this receive is race-free.
+		heap.Push(&pq, <-s.evCh)
+	}
+}
+
+// await sends an event and blocks for the coordinator's answer.
+func (p *pe) await(kind int, addr uint64) int64 {
+	p.sim.evCh <- event{pe: p, kind: kind, t: p.clock, addr: addr}
+	return <-p.reply
+}
+
+// loop is the PE coroutine body: fetch tasks until the scheduler runs dry.
+func (p *pe) loop() {
+	for {
+		id := p.await(evNeedTask, 0)
+		if id < 0 {
+			p.sim.evCh <- event{pe: p, kind: evDone, t: p.clock}
+			return
+		}
+		p.runTask(p.sim.tasks[id])
+	}
+}
+
+// memLine blocks the PE until the line containing addr arrives from the
+// shared side, advancing its clock to the completion time.
+func (p *pe) memLine(addr uint64) {
+	done := p.await(evNeedLine, addr)
+	if done > p.clock {
+		p.stall += done - p.clock
+		p.clock = done
+	}
+}
+
+func (s *simulator) collect() Result {
+	res := Result{Counts: make([]int64, len(s.pl.Patterns))}
+	st := &res.Stats
+	for _, p := range s.pes {
+		if p.clock > st.Cycles {
+			st.Cycles = p.clock
+		}
+		for i, c := range p.counts {
+			res.Counts[i] += c
+		}
+		st.Tasks += p.tasks
+		st.Extensions += p.extends
+		st.L1Hits += p.l1Hits
+		st.L1Misses += p.l1Misses
+		st.SIUIters += p.siuIters
+		st.SDUIters += p.sduIters
+		st.BusyCycles += p.busy
+		st.StallCycles += p.stall
+		if p.cm != nil {
+			cs := p.cm.Stats()
+			st.CMap.Lookups += cs.Lookups
+			st.CMap.Hits += cs.Hits
+			st.CMap.Inserts += cs.Inserts
+			st.CMap.Removes += cs.Removes
+			st.CMap.Probes += cs.Probes
+			st.CMap.Overflows += cs.Overflows
+		}
+	}
+	for i := range res.Counts {
+		res.Counts[i] /= s.pl.CountDivisor[i]
+	}
+	st.NoCRequests = s.mem.nocReqs
+	st.DRAMAccesses = s.mem.dramReqs
+	st.L2Hits = s.mem.l2Hits
+	st.L2Misses = s.mem.l2Misses
+	st.Seconds = float64(st.Cycles) / (s.cfg.FreqGHz * 1e9)
+	if st.Cycles > 0 {
+		st.Utilization = float64(st.BusyCycles) / (float64(st.Cycles) * float64(len(s.pes)))
+	}
+	return res
+}
+
+// eventHeap orders pending events by (time, PE id) for determinism.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].pe.id < h[j].pe.id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
