@@ -6,13 +6,18 @@
 //	flexminer -app TC -graph graph.txt
 //	flexminer -pattern diamond -graph graph.bin -engine sim -pes 64 -cmap 8192
 //	flexminer -app 3-MC -dataset Mi -engine both
+//	flexminer -app 5-CL -dataset Or -timeout 2s -stats
 //
 // Either -graph (a file) or -dataset (a built-in Table I stand-in) selects
 // the input; either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
-// -pattern (catalog name, edge-induced SL) selects the workload.
+// -pattern (catalog name, edge-induced SL) selects the workload. -timeout
+// bounds the run: on expiry the partial counts and stats are printed and the
+// command exits nonzero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,77 +32,126 @@ import (
 	"repro/internal/sim"
 )
 
+// options carries every CLI knob through run.
+type options struct {
+	graphPath, dataset string
+	app, patName       string
+	induced            bool
+	engine             string
+	threads            int
+	pes                int
+	cmapBytes          int
+	slice              int
+	timeout            time.Duration
+	showPlan, statsOut bool
+}
+
 func main() {
-	var (
-		graphPath = flag.String("graph", "", "input graph file (edge list, or .bin CSR)")
-		dataset   = flag.String("dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
-		app       = flag.String("app", "", "application: TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC")
-		patName   = flag.String("pattern", "", "pattern name for edge-induced subgraph listing")
-		induced   = flag.Bool("induced", false, "vertex-induced matching for -pattern")
-		engine    = flag.String("engine", "cpu", "cpu, sim, or both")
-		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "CPU engine threads")
-		pes       = flag.Int("pes", 64, "simulated processing elements")
-		cmapBytes = flag.Int("cmap", 8<<10, "simulated c-map bytes (0 disables)")
-		showPlan  = flag.Bool("show-plan", false, "print the compiled execution plan IR")
-		statsOut  = flag.Bool("stats", false, "print engine/simulator statistics")
-	)
+	var o options
+	flag.StringVar(&o.graphPath, "graph", "", "input graph file (edge list, or .bin CSR)")
+	flag.StringVar(&o.dataset, "dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
+	flag.StringVar(&o.app, "app", "", "application: TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC")
+	flag.StringVar(&o.patName, "pattern", "", "pattern name for edge-induced subgraph listing")
+	flag.BoolVar(&o.induced, "induced", false, "vertex-induced matching for -pattern")
+	flag.StringVar(&o.engine, "engine", "cpu", "cpu, sim, or both")
+	flag.IntVar(&o.threads, "threads", runtime.GOMAXPROCS(0), "CPU engine threads")
+	flag.IntVar(&o.pes, "pes", 64, "simulated processing elements")
+	flag.IntVar(&o.cmapBytes, "cmap", 8<<10, "simulated c-map bytes (0 disables)")
+	flag.IntVar(&o.slice, "slice", 0, "hub-slicing task size in adjacency elements (0 auto, -1 off)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort after this long, printing partial results (0 = no limit)")
+	flag.BoolVar(&o.showPlan, "show-plan", false, "print the compiled execution plan IR")
+	flag.BoolVar(&o.statsOut, "stats", false, "print engine/simulator statistics")
 	flag.Parse()
-	if err := run(*graphPath, *dataset, *app, *patName, *induced, *engine, *threads, *pes, *cmapBytes, *showPlan, *statsOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "flexminer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, dataset, app, patName string, induced bool, engine string, threads, pes, cmapBytes int, showPlan, statsOut bool) error {
-	g, err := loadInput(graphPath, dataset)
+func run(o options) error {
+	g, err := loadInput(o.graphPath, o.dataset)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(graphPath, dataset), g))
+	fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(o.graphPath, o.dataset), g))
 
-	pl, mineG, err := buildPlan(g, app, patName, induced)
+	pl, mineG, err := buildPlan(g, o.app, o.patName, o.induced)
 	if err != nil {
 		return err
 	}
-	if showPlan {
+	if o.showPlan {
 		fmt.Println(pl)
 	}
 
-	runCPU := engine == "cpu" || engine == "both"
-	runSim := engine == "sim" || engine == "both"
+	ctx := context.Background()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
+	runCPU := o.engine == "cpu" || o.engine == "both"
+	runSim := o.engine == "sim" || o.engine == "both"
 	if !runCPU && !runSim {
-		return fmt.Errorf("unknown engine %q (want cpu, sim, or both)", engine)
+		return fmt.Errorf("unknown engine %q (want cpu, sim, or both)", o.engine)
 	}
 	if runCPU {
 		start := time.Now()
-		res, err := core.Mine(mineG, pl, core.Options{Threads: threads})
+		res, err := core.MineContext(ctx, mineG, pl, core.Options{Threads: o.threads, SliceElems: o.slice})
+		if timedOut(err) {
+			fmt.Printf("cpu engine (%d threads): PARTIAL after %v (timeout): %s\n",
+				o.threads, time.Since(start), formatCounts(pl, res.Counts))
+			printCPUStats(res.Stats)
+			return fmt.Errorf("cpu engine: %w", err)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("cpu engine (%d threads): %s in %v\n", threads, formatCounts(pl, res.Counts), time.Since(start))
-		if statsOut {
-			s := res.Stats
-			fmt.Printf("  tasks=%d extensions=%d candidates=%d setop-iters=%d frontier-reuses=%d\n",
-				s.Tasks, s.Extensions, s.Candidates, s.SetOpIterations, s.FrontierReuses)
+		fmt.Printf("cpu engine (%d threads): %s in %v\n", o.threads, formatCounts(pl, res.Counts), time.Since(start))
+		if o.statsOut {
+			printCPUStats(res.Stats)
 		}
 	}
 	if runSim {
-		cfg := sim.DefaultConfig().WithPEs(pes).WithCMapBytes(cmapBytes)
-		res, err := sim.Simulate(mineG, pl, cfg)
+		cfg := sim.DefaultConfig().WithPEs(o.pes).WithCMapBytes(o.cmapBytes)
+		if o.slice > 0 {
+			cfg.TaskSliceElems = o.slice
+		}
+		res, err := sim.SimulateContext(ctx, mineG, pl, cfg)
+		if timedOut(err) {
+			fmt.Printf("accelerator (%d PEs, %s c-map): PARTIAL (timeout): %s after %d simulated cycles\n",
+				o.pes, cmapLabel(o.cmapBytes), formatCounts(pl, res.Counts), res.Stats.Cycles)
+			printSimStats(res.Stats)
+			return fmt.Errorf("accelerator: %w", err)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Printf("accelerator (%d PEs, %s c-map): %s in %d cycles = %.6fs @%.1fGHz\n",
-			pes, cmapLabel(cmapBytes), formatCounts(pl, res.Counts),
+			o.pes, cmapLabel(o.cmapBytes), formatCounts(pl, res.Counts),
 			res.Stats.Cycles, res.Stats.Seconds, cfg.FreqGHz)
-		if statsOut {
-			s := res.Stats
-			fmt.Printf("  util=%.2f noc=%d dram=%d l1miss=%d l2miss=%d siu=%d sdu=%d cmap-reads=%.0f%%\n",
-				s.Utilization, s.NoCRequests, s.DRAMAccesses, s.L1Misses, s.L2Misses,
-				s.SIUIters, s.SDUIters, s.CMap.ReadRatio()*100)
+		if o.statsOut {
+			printSimStats(res.Stats)
 		}
 	}
 	return nil
+}
+
+// timedOut reports whether the error is a context deadline/cancellation —
+// the "print partials, exit nonzero" path.
+func timedOut(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+func printCPUStats(s core.Stats) {
+	fmt.Printf("  tasks=%d extensions=%d candidates=%d setop-iters=%d frontier-reuses=%d\n",
+		s.Tasks, s.Extensions, s.Candidates, s.SetOpIterations, s.FrontierReuses)
+}
+
+func printSimStats(s sim.Stats) {
+	fmt.Printf("  util=%.2f noc=%d dram=%d l1miss=%d l2miss=%d siu=%d sdu=%d cmap-reads=%.0f%%\n",
+		s.Utilization, s.NoCRequests, s.DRAMAccesses, s.L1Misses, s.L2Misses,
+		s.SIUIters, s.SDUIters, s.CMap.ReadRatio()*100)
 }
 
 func loadInput(graphPath, dataset string) (*graph.Graph, error) {

@@ -26,6 +26,8 @@
 package flexminer
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/pattern"
@@ -87,8 +89,22 @@ func CompileCliqueDAG(k int) (*Plan, error) { return plan.CompileCliqueDAG(k) }
 // Mine runs the pattern-aware CPU engine.
 func Mine(g *Graph, pl *Plan, opt MineOptions) (MineResult, error) { return core.Mine(g, pl, opt) }
 
+// MineContext is Mine with cancellation/deadline support: once ctx is
+// cancelled or its deadline passes, the run stops promptly and returns the
+// partial counts and stats accumulated so far together with ctx's error.
+func MineContext(ctx context.Context, g *Graph, pl *Plan, opt MineOptions) (MineResult, error) {
+	return core.MineContext(ctx, g, pl, opt)
+}
+
 // Simulate runs the cycle-level accelerator model.
 func Simulate(g *Graph, pl *Plan, cfg SimConfig) (SimResult, error) { return sim.Simulate(g, pl, cfg) }
+
+// SimulateContext is Simulate under a context: on cancellation the simulated
+// scheduler stops dispatching tasks, the PEs drain, and the partial counts
+// plus cycle statistics are returned with ctx's error.
+func SimulateContext(ctx context.Context, g *Graph, pl *Plan, cfg SimConfig) (SimResult, error) {
+	return sim.SimulateContext(ctx, g, pl, cfg)
+}
 
 // DefaultSimConfig is the paper's accelerator configuration (§VII-A):
 // 1.3 GHz PEs, 32 kB private caches, 8 kB c-map, 4 MB shared L2, DDR4-2666.

@@ -32,6 +32,16 @@ type Stats struct {
 	Overflows int64 // bulk insertions rejected by the occupancy estimate
 }
 
+// Add accumulates another stats block into s (per-worker / per-PE merge).
+func (s *Stats) Add(o Stats) {
+	s.Lookups += o.Lookups
+	s.Hits += o.Hits
+	s.Inserts += o.Inserts
+	s.Removes += o.Removes
+	s.Probes += o.Probes
+	s.Overflows += o.Overflows
+}
+
 // ReadRatio returns reads / (reads + writes), the metric of §VII-C.
 func (s Stats) ReadRatio() float64 {
 	total := s.Lookups + s.Inserts + s.Removes

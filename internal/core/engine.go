@@ -7,14 +7,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/cmap"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/setops"
 )
 
@@ -32,11 +32,28 @@ const (
 	CMapHash
 )
 
+// SliceOff disables hub-vertex task slicing (Options.SliceElems).
+const SliceOff = -1
+
+// autoSliceElems is the slice width the auto policy picks for parallel
+// runs; it matches the accelerator harness (bench.SimConfig) so baseline
+// and simulator schedules stay comparable.
+const autoSliceElems = 32
+
 // Options configure a mining run.
 type Options struct {
 	// Threads is the worker count; 0 means GOMAXPROCS. The paper's CPU
 	// baseline runs 20 threads.
 	Threads int
+
+	// SliceElems controls hub-vertex task slicing (§IV task dispatch): a
+	// start vertex whose adjacency exceeds this many elements is split into
+	// several independent sub-tasks, so one power-law hub cannot serialize
+	// a worker. 0 (the default) picks automatically — slicing at
+	// autoSliceElems for parallel runs, none single-threaded; SliceOff
+	// disables slicing; any positive value is used as-is. Counts are
+	// invariant under slicing; only scheduling (and Stats.Tasks) changes.
+	SliceElems int
 
 	// CMap selects the connectivity-map mode (default CMapNone).
 	CMap CMapMode
@@ -64,7 +81,7 @@ func (o Options) withDefaults() Options {
 
 // Stats aggregates per-run instrumentation.
 type Stats struct {
-	Tasks           int64 // root tasks executed
+	Tasks           int64 // scheduled tasks executed (sub-tasks when slicing)
 	Extensions      int64 // vertices pushed onto ancestor stacks
 	Candidates      int64 // candidates emitted after pruning
 	SetOpIterations int64 // merge-loop iterations (SIU/SDU work proxy)
@@ -78,12 +95,7 @@ func (s *Stats) add(o *Stats) {
 	s.Candidates += o.Candidates
 	s.SetOpIterations += o.SetOpIterations
 	s.FrontierReuses += o.FrontierReuses
-	s.CMap.Lookups += o.CMap.Lookups
-	s.CMap.Hits += o.CMap.Hits
-	s.CMap.Inserts += o.CMap.Inserts
-	s.CMap.Removes += o.CMap.Removes
-	s.CMap.Probes += o.CMap.Probes
-	s.CMap.Overflows += o.CMap.Overflows
+	s.CMap.Add(o.CMap)
 }
 
 // Result is the outcome of a mining run: one count per plan pattern.
@@ -92,8 +104,14 @@ type Result struct {
 	Stats  Stats
 }
 
-// Count returns the single-pattern count.
-func (r Result) Count() int64 { return r.Counts[0] }
+// Count returns the single-pattern count, or 0 when the run produced no
+// counts (a cancelled run, or an empty multi-pattern plan).
+func (r Result) Count() int64 {
+	if len(r.Counts) == 0 {
+		return 0
+	}
+	return r.Counts[0]
+}
 
 // Engine mines a graph according to a compiled plan.
 type Engine struct {
@@ -116,54 +134,69 @@ func NewEngine(g *graph.Graph, pl *plan.Plan, o Options) (*Engine, error) {
 	return &Engine{g: g, pl: pl, o: o.withDefaults()}, nil
 }
 
-// Mine compiles nothing and assumes the plan is final: it runs the parallel
-// DFS over all start vertices and returns per-pattern counts.
+// sliceElems resolves the slicing policy against the engine's input graph.
+func (e *Engine) sliceElems() int {
+	switch {
+	case e.o.SliceElems > 0:
+		return e.o.SliceElems
+	case e.o.SliceElems < 0:
+		return 0
+	}
+	// Auto: a lone worker gains nothing from sub-vertex tasks, and slicing
+	// only matters when hubs exist at all.
+	if e.o.Threads <= 1 || e.g.MaxDegree() <= autoSliceElems {
+		return 0
+	}
+	return autoSliceElems
+}
+
+// Mine runs the parallel DFS over all start vertices and returns per-pattern
+// counts. It is MineContext without cancellation.
 func (e *Engine) Mine() Result {
-	n := e.g.NumVertices()
+	r, _ := e.mine(context.Background(), nil)
+	return r
+}
+
+// MineContext is Mine under a context: the run stops promptly once ctx is
+// cancelled or its deadline passes, returning the partial counts and stats
+// accumulated so far together with ctx's error.
+func (e *Engine) MineContext(ctx context.Context) (Result, error) {
+	return e.mine(ctx, nil)
+}
+
+// mine is the shared execution path of Mine, MineContext, List and
+// ListContext: expand the vertex set into (possibly hub-sliced) tasks, seed
+// them degree-descending, and drain them with the work-stealing scheduler.
+func (e *Engine) mine(ctx context.Context, visit Visitor) (Result, error) {
+	tasks := sched.Expand(e.g, e.sliceElems())
+	sched.OrderByDegreeDesc(e.g, tasks)
 	threads := e.o.Threads
-	if threads > n && n > 0 {
-		threads = n
+	if threads > len(tasks) && len(tasks) > 0 {
+		threads = len(tasks)
 	}
 	if threads < 1 {
 		threads = 1
 	}
-	var next int64
-	const chunk = 16
-	results := make([]Result, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			w := newWorker(e.g, e.pl, e.o)
-			for {
-				start := atomic.AddInt64(&next, chunk) - chunk
-				if start >= int64(n) {
-					break
-				}
-				end := start + chunk
-				if end > int64(n) {
-					end = int64(n)
-				}
-				for v := start; v < end; v++ {
-					w.runTask(graph.VID(v))
-				}
-			}
-			results[t] = Result{Counts: w.counts, Stats: w.stats}
-		}(t)
+	workers := make([]*worker, threads)
+	for t := range workers {
+		workers[t] = newWorker(e.g, e.pl, e.o)
+		workers[t].visit = visit
+		workers[t].ctxDone = ctx.Done()
 	}
-	wg.Wait()
+	err := sched.Run(ctx, threads, tasks, func(t int, task sched.Task) bool {
+		return workers[t].runTask(task)
+	})
 	total := Result{Counts: make([]int64, len(e.pl.Patterns))}
-	for _, r := range results {
-		for i, c := range r.Counts {
+	for _, w := range workers {
+		for i, c := range w.counts {
 			total.Counts[i] += c
 		}
-		total.Stats.add(&r.Stats)
+		total.Stats.add(&w.stats)
 	}
 	for i := range total.Counts {
 		total.Counts[i] /= e.pl.CountDivisor[i]
 	}
-	return total
+	return total, err
 }
 
 // Mine is the convenience one-shot: build an engine and run it.
@@ -173,6 +206,16 @@ func Mine(g *graph.Graph, pl *plan.Plan, o Options) (Result, error) {
 		return Result{}, err
 	}
 	return e.Mine(), nil
+}
+
+// MineContext is the one-shot with cancellation/deadline support; on ctx
+// expiry it returns the partial counts mined so far plus ctx's error.
+func MineContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, o Options) (Result, error) {
+	e, err := NewEngine(g, pl, o)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.MineContext(ctx)
 }
 
 // worker holds the per-thread DFS state: the ancestor stack, per-level
@@ -189,12 +232,44 @@ type worker struct {
 	cm        cmap.Map
 	cmLevelOK []bool // c-map insertion succeeded at level (no overflow)
 
+	// sliceLo/sliceHi restrict the current task's level-1 adjacency range
+	// (hub slicing; sliceHi < 0 means unrestricted).
+	sliceLo, sliceHi int
+
 	counts []int64
 	stats  Stats
+
+	// Cooperative cancellation: ctxDone is polled every cancelPollPeriod
+	// extensions; once it fires, stopped short-circuits the DFS.
+	ctxDone    <-chan struct{}
+	stopped    bool
+	cancelPoll uint
 
 	// visit, when set, is invoked once per full match instead of bulk
 	// leaf counting (see List).
 	visit Visitor
+}
+
+// cancelPollPeriod spaces the cancellation polls (a power of two): frequent
+// enough to abandon a hub subtree within microseconds, rare enough to stay
+// off the extension hot path.
+const cancelPollPeriod = 1 << 10
+
+// cancelled polls the run's cancellation signal at most once per
+// cancelPollPeriod calls and latches the result into w.stopped.
+func (w *worker) cancelled() bool {
+	if w.stopped {
+		return true
+	}
+	if w.cancelPoll++; w.cancelPoll&(cancelPollPeriod-1) != 0 || w.ctxDone == nil {
+		return false
+	}
+	select {
+	case <-w.ctxDone:
+		w.stopped = true
+	default:
+	}
+	return w.stopped
 }
 
 func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
@@ -219,25 +294,32 @@ func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
 	return w
 }
 
-// runTask explores the full subtree rooted at start vertex v0.
-func (w *worker) runTask(v0 graph.VID) {
+// runTask explores the subtree rooted at the task's start vertex (restricted
+// to its level-1 adjacency slice when the task is a hub sub-task) and reports
+// whether the worker may continue (false once cancellation latched).
+func (w *worker) runTask(t sched.Task) bool {
 	w.stats.Tasks++
 	root := w.pl.Root
-	w.emb[0] = v0
+	w.emb[0] = t.V0
+	w.sliceLo, w.sliceHi = t.Lo, t.Hi
 	w.stats.Extensions++
-	inserted := w.cmapInsert(root.Op, 0, v0)
+	inserted := w.cmapInsert(root.Op, 0, t.V0)
 	for _, c := range root.Children {
 		w.walk(c, 1)
 	}
 	if inserted {
 		// Self-cleaning during backtracking (§VI): removing the root level
 		// leaves the map empty for the next task.
-		w.cmapRemove(root.Op, 0, v0)
+		w.cmapRemove(root.Op, 0, t.V0)
 	}
+	return !w.stopped
 }
 
 // walk matches the vertex for node n at the given depth and recurses.
 func (w *worker) walk(n *plan.Node, depth int) {
+	if w.stopped {
+		return
+	}
 	cands := w.candidates(n.Op, depth)
 	w.stats.Candidates += int64(len(cands))
 	if n.IsLeaf() {
@@ -251,6 +333,9 @@ func (w *worker) walk(n *plan.Node, depth int) {
 		return
 	}
 	for _, v := range cands {
+		if w.cancelled() {
+			return
+		}
 		w.emb[depth] = v
 		w.stats.Extensions++
 		inserted := w.cmapInsert(n.Op, depth, v)
@@ -310,7 +395,20 @@ func (w *worker) candidates(op plan.VertexOp, depth int) []graph.VID {
 		intersect, difference = op.IntersectWith, op.DifferenceWith
 		w.stats.FrontierReuses++
 	} else {
-		base = setops.Bounded(w.g.Adj(w.emb[op.Extender]), bound)
+		adj := w.g.Adj(w.emb[op.Extender])
+		if depth == 1 && w.sliceHi >= 0 {
+			// Hub slicing: this task covers only elements [sliceLo, sliceHi)
+			// of the start vertex's adjacency (mirrors the PE's slice path).
+			lo, hi := w.sliceLo, w.sliceHi
+			if lo > len(adj) {
+				lo = len(adj)
+			}
+			if hi > len(adj) {
+				hi = len(adj)
+			}
+			adj = adj[lo:hi]
+		}
+		base = setops.Bounded(adj, bound)
 		intersect, difference = op.Connected, op.Disconnected
 	}
 

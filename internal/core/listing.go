@@ -3,11 +3,12 @@ package core
 // Embedding listing. The counting engine stops at leaf candidate lists (the
 // last-level optimization); subgraph *listing* (SL proper) materializes each
 // match. The visitor runs inside the worker, so it must be fast and must not
-// retain the embedding slice.
+// retain the embedding slice. Listing rides the same task-scheduling runtime
+// as counting (internal/sched): hub slicing, degree-descending seeding, work
+// stealing and context cancellation all apply.
 
 import (
-	"sync"
-	"sync/atomic"
+	"context"
 
 	"repro/internal/graph"
 	"repro/internal/plan"
@@ -24,6 +25,13 @@ type Visitor func(emb []graph.VID, patternIdx int)
 // Listing plans must use symmetry breaking (CountDivisor 1), since an
 // automorphism-deduplicating visitor cannot be synthesized generically.
 func List(g *graph.Graph, pl *plan.Plan, o Options, visit Visitor) (Result, error) {
+	return ListContext(context.Background(), g, pl, o, visit)
+}
+
+// ListContext is List under a context: once ctx is cancelled the enumeration
+// stops promptly, returning the partial counts alongside ctx's error. Every
+// embedding delivered to visit before that point was a genuine match.
+func ListContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, o Options, visit Visitor) (Result, error) {
 	e, err := NewEngine(g, pl, o)
 	if err != nil {
 		return Result{}, err
@@ -33,58 +41,11 @@ func List(g *graph.Graph, pl *plan.Plan, o Options, visit Visitor) (Result, erro
 			return Result{}, errDivisor(pl.Patterns[i].Name())
 		}
 	}
-	return e.mineVisit(visit), nil
+	return e.mine(ctx, visit)
 }
 
 type errDivisor string
 
 func (e errDivisor) Error() string {
 	return "core: listing requires a symmetry-broken plan (pattern " + string(e) + ")"
-}
-
-// mineVisit is Engine.Mine with a leaf visitor.
-func (e *Engine) mineVisit(visit Visitor) Result {
-	n := e.g.NumVertices()
-	threads := e.o.Threads
-	if threads > n && n > 0 {
-		threads = n
-	}
-	if threads < 1 {
-		threads = 1
-	}
-	var next int64
-	const chunk = 16
-	results := make([]Result, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			w := newWorker(e.g, e.pl, e.o)
-			w.visit = visit
-			for {
-				start := atomic.AddInt64(&next, chunk) - chunk
-				if start >= int64(n) {
-					break
-				}
-				end := start + chunk
-				if end > int64(n) {
-					end = int64(n)
-				}
-				for v := start; v < end; v++ {
-					w.runTask(graph.VID(v))
-				}
-			}
-			results[t] = Result{Counts: w.counts, Stats: w.stats}
-		}(t)
-	}
-	wg.Wait()
-	total := Result{Counts: make([]int64, len(e.pl.Patterns))}
-	for _, r := range results {
-		for i, c := range r.Counts {
-			total.Counts[i] += c
-		}
-		total.Stats.add(&r.Stats)
-	}
-	return total
 }

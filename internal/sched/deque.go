@@ -1,0 +1,53 @@
+package sched
+
+import "sync"
+
+// deque is a mutex-guarded work queue. The owner pops from the front — with
+// degree-descending seeding that is heaviest-first — while thieves take the
+// lighter back half in one grab, amortizing steal overhead. Tasks are never
+// re-enqueued by the owner, so head only advances and the backing slice only
+// shrinks (except when a thief deposits a stolen batch into its own deque).
+type deque struct {
+	mu   sync.Mutex
+	head int
+	ts   []Task
+}
+
+// push appends a batch (initial dealing, or the thief depositing loot).
+func (d *deque) push(ts []Task) {
+	d.mu.Lock()
+	d.ts = append(d.ts, ts...)
+	d.mu.Unlock()
+}
+
+// popFront removes and returns the frontmost task.
+func (d *deque) popFront() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.ts) {
+		return Task{}, false
+	}
+	t := d.ts[d.head]
+	d.head++
+	return t, true
+}
+
+// stealTail removes up to half (at least one) of the remaining tasks from
+// the back and returns them as a fresh slice — a copy, because the victim's
+// backing array may later be appended over by its own push.
+func (d *deque) stealTail() []Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	avail := len(d.ts) - d.head
+	if avail == 0 {
+		return nil
+	}
+	take := avail / 2
+	if take == 0 {
+		take = 1
+	}
+	out := make([]Task, take)
+	copy(out, d.ts[len(d.ts)-take:])
+	d.ts = d.ts[:len(d.ts)-take]
+	return out
+}

@@ -1,0 +1,97 @@
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes every task at most once across workers goroutines using
+// per-worker deques with work stealing, and exactly once when the run is
+// neither cancelled nor stopped. fn is invoked with the worker index
+// (0 ≤ w < workers) and the task; returning false halts the whole run
+// (cooperative cancellation detected inside a task). Run returns ctx.Err()
+// — nil unless the context was cancelled or expired, in which case callers
+// hold partial results.
+func Run(ctx context.Context, workers int, tasks []Task, fn func(worker int, t Task) bool) error {
+	if workers < 1 {
+		workers = 1
+	}
+	deques := make([]deque, workers)
+	for i := range deques {
+		share := len(tasks)/workers + 1
+		deques[i].ts = make([]Task, 0, share)
+	}
+	// Deal round-robin: after degree-descending ordering, every deque gets
+	// an interleaved heavy-to-light run of the global LPT sequence.
+	for i, t := range tasks {
+		d := &deques[i%workers]
+		d.ts = append(d.ts, t)
+	}
+
+	// unclaimed counts tasks not yet popped for execution. Steals move
+	// tasks between deques without changing it, so unclaimed == 0 means no
+	// deque will ever hold work again and idle workers may retire.
+	var unclaimed atomic.Int64
+	unclaimed.Store(int64(len(tasks)))
+
+	var stopped atomic.Bool
+	done := ctx.Done()
+	halted := func() bool {
+		if stopped.Load() {
+			return true
+		}
+		select {
+		case <-done:
+			stopped.Store(true)
+			return true
+		default:
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			self := &deques[w]
+			for !halted() {
+				t, ok := self.popFront()
+				if !ok {
+					if unclaimed.Load() == 0 {
+						return
+					}
+					if !steal(deques, w, self) {
+						// Work exists but is in flight (being executed, or
+						// mid-transfer in a thief's hands); tasks never
+						// respawn, so yield and re-sweep.
+						runtime.Gosched()
+					}
+					continue
+				}
+				unclaimed.Add(-1)
+				if !fn(w, t) {
+					stopped.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// steal sweeps the other deques from self+1 onward and moves the first
+// non-empty victim's back half into the thief's own deque.
+func steal(deques []deque, self int, into *deque) bool {
+	for off := 1; off < len(deques); off++ {
+		v := &deques[(self+off)%len(deques)]
+		if loot := v.stealTail(); len(loot) > 0 {
+			into.push(loot)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// coverage collects, per vertex, which adjacency elements the task list
+// covers, to assert Expand partitions exactly.
+func coverage(g *graph.Graph, tasks []Task) map[graph.VID][]bool {
+	cov := map[graph.VID][]bool{}
+	for _, t := range tasks {
+		deg := g.Degree(t.V0)
+		seen, ok := cov[t.V0]
+		if !ok {
+			seen = make([]bool, deg)
+			cov[t.V0] = seen
+		}
+		lo, hi := t.Lo, t.Hi
+		if !t.Sliced() {
+			lo, hi = 0, deg
+		}
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				return nil // double cover
+			}
+			seen[i] = true
+		}
+	}
+	return cov
+}
+
+func TestExpandPartitionsAdjacency(t *testing.T) {
+	g := graph.ChungLu(200, 1500, 2.2, 11)
+	for _, slice := range []int{0, 1, 7, 32, 1 << 20} {
+		tasks := Expand(g, slice)
+		cov := coverage(g, tasks)
+		if cov == nil {
+			t.Fatalf("slice=%d: overlapping tasks", slice)
+		}
+		if len(cov) != g.NumVertices() {
+			t.Fatalf("slice=%d: %d vertices covered, want %d", slice, len(cov), g.NumVertices())
+		}
+		for v, seen := range cov {
+			for i, ok := range seen {
+				if !ok {
+					t.Fatalf("slice=%d: vertex %d element %d uncovered", slice, v, i)
+				}
+			}
+		}
+		if slice > 0 {
+			for _, task := range tasks {
+				if task.Sliced() && task.Hi-task.Lo > slice {
+					t.Fatalf("slice=%d: task %+v too wide", slice, task)
+				}
+			}
+		}
+	}
+}
+
+func TestExpandZeroDegree(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}}) // vertices 2, 3 isolated
+	tasks := Expand(g, 4)
+	if len(tasks) != 4 {
+		t.Fatalf("got %d tasks, want 4", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.Sliced() {
+			t.Fatalf("small vertices must stay whole: %+v", task)
+		}
+	}
+}
+
+func TestOrderByDegreeDesc(t *testing.T) {
+	g := graph.ChungLu(100, 600, 2.3, 5)
+	tasks := Expand(g, 8)
+	OrderByDegreeDesc(g, tasks)
+	for i := 1; i < len(tasks); i++ {
+		if g.Degree(tasks[i-1].V0) < g.Degree(tasks[i].V0) {
+			t.Fatalf("not degree-descending at %d", i)
+		}
+	}
+	// Stability: slices of one hub keep ascending Lo.
+	lastLo := map[graph.VID]int{}
+	for _, task := range tasks {
+		if lo, ok := lastLo[task.V0]; ok && task.Lo <= lo {
+			t.Fatalf("slice order broken for vertex %d", task.V0)
+		}
+		lastLo[task.V0] = task.Lo
+	}
+}
+
+func TestRunExecutesEachTaskOnce(t *testing.T) {
+	g := graph.ChungLu(300, 2400, 2.3, 9)
+	tasks := Expand(g, 16)
+	OrderByDegreeDesc(g, tasks)
+	for _, workers := range []int{1, 3, 8, 64, len(tasks) + 5} {
+		ran := make([]atomic.Int32, len(tasks))
+		index := map[Task]int{}
+		for i, task := range tasks {
+			index[task] = i
+		}
+		err := Run(context.Background(), workers, tasks, func(w int, task Task) bool {
+			if w < 0 || w >= workers {
+				t.Errorf("worker index %d out of range", w)
+			}
+			ran[index[task]].Add(1)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if n := ran[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestRunEmptyTaskList(t *testing.T) {
+	if err := Run(context.Background(), 4, nil, func(int, Task) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	g := graph.ChungLu(400, 3000, 2.3, 3)
+	tasks := Expand(g, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int64
+	err := Run(ctx, 4, tasks, func(w int, task Task) bool {
+		if executed.Add(1) == 10 {
+			cancel()
+		}
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n >= int64(len(tasks)) {
+		t.Fatalf("cancellation did not cut the run short (%d/%d)", n, len(tasks))
+	}
+}
+
+func TestRunStopsWhenFnReturnsFalse(t *testing.T) {
+	g := graph.ChungLu(400, 3000, 2.3, 3)
+	tasks := Expand(g, 0)
+	var executed atomic.Int64
+	err := Run(context.Background(), 4, tasks, func(w int, task Task) bool {
+		return executed.Add(1) < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executed.Load(); n >= int64(len(tasks)) {
+		t.Fatalf("fn=false did not halt the run (%d/%d)", n, len(tasks))
+	}
+}

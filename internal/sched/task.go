@@ -1,0 +1,75 @@
+// Package sched is the shared task-generation and scheduling runtime that
+// sits under every execution layer: the CPU engine (internal/core), the
+// cycle-level accelerator model (internal/sim) and the benchmark harness
+// (internal/bench). It owns two concerns the paper assigns to the global
+// task scheduler of §IV:
+//
+//   - task expansion — turning the vertex set into schedulable units,
+//     slicing hub vertices into several independent sub-tasks so one
+//     power-law hub cannot serialize a whole worker or PE;
+//   - task dispatch — for the CPU engine, a per-worker deque work-stealing
+//     scheduler seeded degree-descending (longest-processing-time-first),
+//     with first-class context cancellation. The simulator keeps its own
+//     deterministic event-driven dispatch but consumes the same task list.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// All marks a task that covers the full level-1 adjacency of its vertex.
+const All = -1
+
+// Task is one schedulable unit of mining work: a start vertex and, when hub
+// slicing is enabled, the half-open level-1 adjacency element range
+// [Lo, Hi) it covers. Hi == All means the task spans the whole adjacency.
+type Task struct {
+	V0     graph.VID
+	Lo, Hi int
+}
+
+// Sliced reports whether the task is restricted to an adjacency sub-range.
+func (t Task) Sliced() bool { return t.Hi >= 0 }
+
+// Expand turns the vertex set of g into the task list, splitting each vertex
+// whose adjacency exceeds slice elements into ceil(degree/slice) sub-tasks
+// (the §IV task dispatch generalized with hub slicing). slice <= 0 yields
+// one whole-vertex task per vertex.
+func Expand(g *graph.Graph, slice int) []Task {
+	n := g.NumVertices()
+	if slice <= 0 {
+		tasks := make([]Task, n)
+		for v := 0; v < n; v++ {
+			tasks[v] = Task{V0: graph.VID(v), Lo: 0, Hi: All}
+		}
+		return tasks
+	}
+	tasks := make([]Task, 0, n)
+	for v := 0; v < n; v++ {
+		deg := g.Degree(graph.VID(v))
+		if deg <= slice {
+			tasks = append(tasks, Task{V0: graph.VID(v), Lo: 0, Hi: All})
+			continue
+		}
+		for lo := 0; lo < deg; lo += slice {
+			hi := lo + slice
+			if hi > deg {
+				hi = deg
+			}
+			tasks = append(tasks, Task{V0: graph.VID(v), Lo: lo, Hi: hi})
+		}
+	}
+	return tasks
+}
+
+// OrderByDegreeDesc reorders tasks heaviest-start-vertex-first (an LPT
+// schedule seed): dealt round-robin across worker deques, every worker
+// starts on a comparably heavy prefix and the cheap tail absorbs imbalance.
+// The sort is stable so sub-tasks of one hub keep their Lo order.
+func OrderByDegreeDesc(g *graph.Graph, tasks []Task) {
+	sort.SliceStable(tasks, func(i, j int) bool {
+		return g.Degree(tasks[i].V0) > g.Degree(tasks[j].V0)
+	})
+}

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+)
+
+// TestSimulateContextCancelled: with a pre-cancelled context the scheduler
+// dispatches nothing, the PEs drain immediately, and the partial (empty)
+// result comes back with ctx's error.
+func TestSimulateContextCancelled(t *testing.T) {
+	g := graph.ChungLu(400, 3000, 2.3, 5)
+	pl, err := plan.Compile(pattern.Triangle(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SimulateContext(ctx, g, pl, DefaultConfig().WithPEs(4))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Stats.Tasks != 0 {
+		t.Errorf("cancelled run dispatched %d tasks", res.Stats.Tasks)
+	}
+	if res.Count() != 0 {
+		t.Errorf("cancelled run counted %d", res.Count())
+	}
+}
+
+// TestSimulateContextComplete: a background context must leave the
+// simulation and its determinism untouched.
+func TestSimulateContextComplete(t *testing.T) {
+	g := graph.ChungLu(400, 3000, 2.3, 5)
+	pl, err := plan.Compile(pattern.Triangle(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Simulate(g, pl, DefaultConfig().WithPEs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := SimulateContext(context.Background(), g, pl, DefaultConfig().WithPEs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Count() != ctxed.Count() || plain.Stats.Cycles != ctxed.Stats.Cycles {
+		t.Errorf("context changed the run: %d/%d cycles vs %d/%d",
+			plain.Count(), plain.Stats.Cycles, ctxed.Count(), ctxed.Stats.Cycles)
+	}
+}
+
+// TestSimResultCountEmpty: Count on an empty result must not panic.
+func TestSimResultCountEmpty(t *testing.T) {
+	if c := (Result{}).Count(); c != 0 {
+		t.Errorf("empty Result.Count() = %d, want 0", c)
+	}
+}

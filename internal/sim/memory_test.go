@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
 
 func TestConfigValidation(t *testing.T) {
 	good := DefaultConfig()
@@ -117,23 +121,23 @@ func TestAddressMapLayout(t *testing.T) {
 
 func TestBuildTasksSlicing(t *testing.T) {
 	g := simGraphs()["er"]
-	whole := buildTasks(g, 0)
+	whole := sched.Expand(g, 0)
 	if len(whole) != g.NumVertices() {
 		t.Errorf("per-vertex tasks = %d", len(whole))
 	}
-	sliced := buildTasks(g, 8)
+	sliced := sched.Expand(g, 8)
 	if len(sliced) <= len(whole) {
 		t.Errorf("slicing produced %d tasks (≤ %d)", len(sliced), len(whole))
 	}
 	// Coverage: every vertex's full degree must be covered exactly once.
 	cover := map[uint32]int{}
 	for _, ts := range sliced {
-		if ts.hi == -1 {
-			cover[ts.v0] += 0 // zero-degree vertex
+		if !ts.Sliced() {
+			cover[ts.V0] += g.Degree(ts.V0) // whole-vertex task
 			continue
 		}
-		cover[ts.v0] += ts.hi - ts.lo
-		if ts.hi-ts.lo > 8 {
+		cover[ts.V0] += ts.Hi - ts.Lo
+		if ts.Hi-ts.Lo > 8 {
 			t.Errorf("slice too big: %+v", ts)
 		}
 	}

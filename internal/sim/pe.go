@@ -10,6 +10,7 @@ import (
 	"repro/internal/cmap"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/sched"
 	"repro/internal/setops"
 )
 
@@ -145,20 +146,20 @@ func (p *pe) readAdjPrefix(v graph.VID, bound graph.VID) []graph.VID {
 // runTask executes the search subtree rooted at the task's start vertex
 // (restricted to its level-1 adjacency slice, when slicing is enabled),
 // mirroring core.worker.runTask.
-func (p *pe) runTask(t taskSpec) {
+func (p *pe) runTask(t sched.Task) {
 	p.tasks++
 	p.tick(int64(p.sim.cfg.SchedLatency))
 	root := p.sim.pl.Root
-	p.emb[0] = t.v0
-	p.sliceLo, p.sliceHi = t.lo, t.hi
+	p.emb[0] = t.V0
+	p.sliceLo, p.sliceHi = t.Lo, t.Hi
 	p.extends++
 	p.tick(1) // push onto ancestor stack
-	inserted := p.cmapInsert(root.Op, 0, t.v0)
+	inserted := p.cmapInsert(root.Op, 0, t.V0)
 	for _, c := range root.Children {
 		p.walk(c, 1)
 	}
 	if inserted {
-		p.cmapRemove(root.Op, 0, t.v0)
+		p.cmapRemove(root.Op, 0, t.V0)
 	}
 }
 

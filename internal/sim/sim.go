@@ -10,11 +10,13 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/cmap"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/sched"
 )
 
 // Stats is the full instrumentation of one simulated run.
@@ -51,8 +53,14 @@ type Result struct {
 	Stats  Stats
 }
 
-// Count returns the single-pattern count.
-func (r Result) Count() int64 { return r.Counts[0] }
+// Count returns the single-pattern count, or 0 when the run produced no
+// counts (a cancelled run, or an empty multi-pattern plan).
+func (r Result) Count() int64 {
+	if len(r.Counts) == 0 {
+		return 0
+	}
+	return r.Counts[0]
+}
 
 // Speedup returns how much faster this run is than a baseline wall-clock
 // duration in seconds.
@@ -86,49 +94,22 @@ type simulator struct {
 	pes []*pe
 
 	evCh     chan event
-	tasks    []taskSpec
+	tasks    []sched.Task
 	nextTask int
-}
-
-// taskSpec is one schedulable unit: a start vertex and, when task slicing is
-// enabled, the half-open level-1 adjacency index range it covers.
-type taskSpec struct {
-	v0     graph.VID
-	lo, hi int // level-1 adjacency element range; hi == -1 means "all"
-}
-
-// buildTasks expands the vertex set into the task list, slicing hub vertices
-// when cfg.TaskSliceElems is set.
-func buildTasks(g *graph.Graph, slice int) []taskSpec {
-	n := g.NumVertices()
-	if slice <= 0 {
-		tasks := make([]taskSpec, n)
-		for v := 0; v < n; v++ {
-			tasks[v] = taskSpec{v0: graph.VID(v), lo: 0, hi: -1}
-		}
-		return tasks
-	}
-	var tasks []taskSpec
-	for v := 0; v < n; v++ {
-		deg := g.Degree(graph.VID(v))
-		if deg == 0 {
-			tasks = append(tasks, taskSpec{v0: graph.VID(v), lo: 0, hi: -1})
-			continue
-		}
-		for lo := 0; lo < deg; lo += slice {
-			hi := lo + slice
-			if hi > deg {
-				hi = deg
-			}
-			tasks = append(tasks, taskSpec{v0: graph.VID(v), lo: lo, hi: hi})
-		}
-	}
-	return tasks
+	done     <-chan struct{} // run context's cancellation signal
 }
 
 // Simulate runs the accelerator model over the whole graph and returns
 // counts plus statistics. The simulation is deterministic.
 func Simulate(g *graph.Graph, pl *plan.Plan, cfg Config) (Result, error) {
+	return SimulateContext(context.Background(), g, pl, cfg)
+}
+
+// SimulateContext is Simulate under a context: once ctx is cancelled the
+// scheduler stops dispatching tasks, the PEs drain, and the partial counts
+// and statistics accumulated so far are returned with ctx's error. An
+// uncancelled run stays fully deterministic.
+func SimulateContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
@@ -148,14 +129,25 @@ func Simulate(g *graph.Graph, pl *plan.Plan, cfg Config) (Result, error) {
 		am:   newAddressMap(g.NumVertices()),
 		mem:  newMemSystem(cfg),
 		evCh: make(chan event),
+		done: ctx.Done(),
 	}
-	s.tasks = buildTasks(g, cfg.TaskSliceElems)
+	s.tasks = sched.Expand(g, cfg.TaskSliceElems)
 	s.pes = make([]*pe, cfg.PEs)
 	for i := range s.pes {
 		s.pes[i] = newPE(i, s)
 	}
 	s.run()
-	return s.collect(), nil
+	return s.collect(), ctx.Err()
+}
+
+// cancelled reports whether the run context has fired.
+func (s *simulator) cancelled() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
 }
 
 // run launches the PE coroutines and processes events in simulated-time
@@ -180,7 +172,7 @@ func (s *simulator) run() {
 			live--
 			continue
 		case evNeedTask:
-			if s.nextTask < len(s.tasks) {
+			if s.nextTask < len(s.tasks) && !s.cancelled() {
 				ev.pe.reply <- int64(s.nextTask)
 				s.nextTask++
 			} else {
@@ -242,13 +234,7 @@ func (s *simulator) collect() Result {
 		st.BusyCycles += p.busy
 		st.StallCycles += p.stall
 		if p.cm != nil {
-			cs := p.cm.Stats()
-			st.CMap.Lookups += cs.Lookups
-			st.CMap.Hits += cs.Hits
-			st.CMap.Inserts += cs.Inserts
-			st.CMap.Removes += cs.Removes
-			st.CMap.Probes += cs.Probes
-			st.CMap.Overflows += cs.Overflows
+			st.CMap.Add(p.cm.Stats())
 		}
 	}
 	for i := range res.Counts {
