@@ -22,7 +22,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] all|table1|table2|fig7|fig13|fig14|fig15|fig16|large|ablation ...")
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] all|table1|table2|fig7|fig13|fig14|fig15|fig16|large|ablation|bench-setops ...")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -88,6 +88,13 @@ func runOne(name string, quick bool) error {
 			return err
 		}
 		bench.PrintLargePatterns(w, rows)
+	case "bench-setops":
+		// Not part of "all": this is a kernel A/B record, not a paper figure.
+		rep, err := bench.SetopsBench(0)
+		if err != nil {
+			return err
+		}
+		return rep.WriteJSON(w)
 	case "ablation":
 		apps := []string{"TC", "4-CL", "SL-4cycle"}
 		if quick {

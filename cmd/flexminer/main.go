@@ -7,12 +7,14 @@
 //	flexminer -pattern diamond -graph graph.bin -engine sim -pes 64 -cmap 8192
 //	flexminer -app 3-MC -dataset Mi -engine both
 //	flexminer -app 5-CL -dataset Or -timeout 2s -stats
+//	flexminer -app 4-CL -dataset Lj -kernel merge -stats
 //
 // Either -graph (a file) or -dataset (a built-in Table I stand-in) selects
 // the input; either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
 // -pattern (catalog name, edge-induced SL) selects the workload. -timeout
 // bounds the run: on expiry the partial counts and stats are printed and the
-// command exits nonzero.
+// command exits nonzero. -kernel pins the CPU engine's set-kernel policy
+// (auto/merge/gallop/bitmap) for A/B runs; it never affects -engine sim.
 package main
 
 import (
@@ -38,6 +40,7 @@ type options struct {
 	app, patName       string
 	induced            bool
 	engine             string
+	kernel             string
 	threads            int
 	pes                int
 	cmapBytes          int
@@ -54,6 +57,7 @@ func main() {
 	flag.StringVar(&o.patName, "pattern", "", "pattern name for edge-induced subgraph listing")
 	flag.BoolVar(&o.induced, "induced", false, "vertex-induced matching for -pattern")
 	flag.StringVar(&o.engine, "engine", "cpu", "cpu, sim, or both")
+	flag.StringVar(&o.kernel, "kernel", "auto", "CPU set-kernel policy: auto, merge, gallop, bitmap")
 	flag.IntVar(&o.threads, "threads", runtime.GOMAXPROCS(0), "CPU engine threads")
 	flag.IntVar(&o.pes, "pes", 64, "simulated processing elements")
 	flag.IntVar(&o.cmapBytes, "cmap", 8<<10, "simulated c-map bytes (0 disables)")
@@ -96,18 +100,25 @@ func run(o options) error {
 		return fmt.Errorf("unknown engine %q (want cpu, sim, or both)", o.engine)
 	}
 	if runCPU {
+		kernel, err := core.ParseKernelPolicy(o.kernel)
+		if err != nil {
+			return err
+		}
 		start := time.Now()
-		res, err := core.MineContext(ctx, mineG, pl, core.Options{Threads: o.threads, SliceElems: o.slice})
+		res, err := core.MineContext(ctx, mineG, pl, core.Options{
+			Threads: o.threads, SliceElems: o.slice, Kernel: kernel,
+		})
 		if timedOut(err) {
-			fmt.Printf("cpu engine (%d threads): PARTIAL after %v (timeout): %s\n",
-				o.threads, time.Since(start), formatCounts(pl, res.Counts))
+			fmt.Printf("cpu engine (%d threads, %s kernels): PARTIAL after %v (timeout): %s\n",
+				o.threads, kernel, time.Since(start), formatCounts(pl, res.Counts))
 			printCPUStats(res.Stats)
 			return fmt.Errorf("cpu engine: %w", err)
 		}
 		if err != nil {
 			return err
 		}
-		fmt.Printf("cpu engine (%d threads): %s in %v\n", o.threads, formatCounts(pl, res.Counts), time.Since(start))
+		fmt.Printf("cpu engine (%d threads, %s kernels): %s in %v\n",
+			o.threads, kernel, formatCounts(pl, res.Counts), time.Since(start))
 		if o.statsOut {
 			printCPUStats(res.Stats)
 		}
@@ -146,6 +157,10 @@ func timedOut(err error) bool {
 func printCPUStats(s core.Stats) {
 	fmt.Printf("  tasks=%d extensions=%d candidates=%d setop-iters=%d frontier-reuses=%d\n",
 		s.Tasks, s.Extensions, s.Candidates, s.SetOpIterations, s.FrontierReuses)
+	// Per-kernel attribution, so -kernel A/B runs are comparable: merge work
+	// is setop-iters above; the rest of the set-op work shows up here.
+	fmt.Printf("  gallop-probes=%d bitmap-probes=%d leaf-count-skips=%d\n",
+		s.GallopProbes, s.BitmapProbes, s.LeafCountsSkippedMaterialize)
 }
 
 func printSimStats(s sim.Stats) {

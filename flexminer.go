@@ -46,15 +46,32 @@ type (
 	Plan = plan.Plan
 	// CompileOptions configure the compiler (induced semantics, ablations).
 	CompileOptions = plan.Options
-	// MineOptions configure the CPU engine (threads, c-map mode).
+	// MineOptions configure the CPU engine (threads, c-map mode, kernels).
 	MineOptions = core.Options
 	// MineResult is the CPU engine outcome.
 	MineResult = core.Result
+	// KernelPolicy selects the CPU engine's set-operation kernels (see
+	// MineOptions.Kernel); the accelerator model never consults it.
+	KernelPolicy = core.KernelPolicy
 	// SimConfig configures the accelerator model.
 	SimConfig = sim.Config
 	// SimResult is the accelerator outcome (counts + cycle statistics).
 	SimResult = sim.Result
 )
+
+// Kernel policies for MineOptions.Kernel. KernelAuto (the zero value) picks
+// per set operation: merge for balanced operands, galloping for skewed ones,
+// bitmap probes against hub adjacency; the others pin one kernel everywhere.
+const (
+	KernelAuto      = core.KernelAuto
+	KernelMergeOnly = core.KernelMergeOnly
+	KernelGallop    = core.KernelGallop
+	KernelBitmap    = core.KernelBitmap
+)
+
+// ParseKernelPolicy resolves a kernel-policy name ("auto", "merge",
+// "gallop", "bitmap") as accepted by the flexminer CLI's -kernel flag.
+func ParseKernelPolicy(s string) (KernelPolicy, error) { return core.ParseKernelPolicy(s) }
 
 // NewGraph builds a simple undirected graph from an edge list over n
 // vertices, deduplicating edges and dropping self loops.

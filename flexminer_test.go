@@ -1,6 +1,10 @@
 package flexminer
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
 
 // TestFacadeEndToEnd drives the public API exactly as the README does.
 func TestFacadeEndToEnd(t *testing.T) {
@@ -71,6 +75,45 @@ func TestFacadeMotifs(t *testing.T) {
 		}
 		if res.Counts[i] != want {
 			t.Errorf("%s = %d, want %d", p.Name(), res.Counts[i], want)
+		}
+	}
+}
+
+// TestSimCyclesKernelProof is the simulator-side half of the kernel
+// invariance contract (the engine-side half lives in internal/core's kernel
+// tests): the accelerator's SIU/SDU cycle accounting stays on the paper's
+// merge model no matter which CPU kernel policy is in use — including when
+// the simulator runs on the very Graph value on which the CPU engine has
+// already lazily built its hub-bitmap index.
+func TestSimCyclesKernelProof(t *testing.T) {
+	g := graph.ChungLu(600, 5400, 2.2, 0x21) // power-law: hubs exist, bitmaps engage
+	pl, err := Compile(Patterns.KClique(4), CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig().WithPEs(4)
+	before, err := Simulate(g, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []KernelPolicy{KernelAuto, KernelMergeOnly, KernelGallop, KernelBitmap} {
+		res, err := Mine(g, pl, MineOptions{Kernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts[0] != before.Counts[0] {
+			t.Errorf("kernel=%v: CPU count %d != simulated count %d", kernel, res.Counts[0], before.Counts[0])
+		}
+		after, err := Simulate(g, pl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Stats.Cycles != before.Stats.Cycles {
+			t.Errorf("kernel=%v perturbed simulated cycles: %d, want %d", kernel, after.Stats.Cycles, before.Stats.Cycles)
+		}
+		if after.Stats.SIUIters != before.Stats.SIUIters || after.Stats.SDUIters != before.Stats.SDUIters {
+			t.Errorf("kernel=%v perturbed SIU/SDU iterations: %d/%d, want %d/%d", kernel,
+				after.Stats.SIUIters, after.Stats.SDUIters, before.Stats.SIUIters, before.Stats.SDUIters)
 		}
 	}
 }

@@ -93,8 +93,11 @@ func Table2(quick bool) ([]Table2Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Both software baselines are merge-based systems; pin the
+			// kernel policy so Table II keeps modeling them (the adaptive
+			// kernels are benchmarked separately in SetopsBench).
 			start := now()
-			amEng, err := core.NewEngine(amw.G, amw.Plan, core.Options{Threads: BaselineThreads})
+			amEng, err := core.NewEngine(amw.G, amw.Plan, core.Options{Threads: BaselineThreads, Kernel: core.KernelMergeOnly})
 			if err != nil {
 				return nil, err
 			}
@@ -102,7 +105,7 @@ func Table2(quick bool) ([]Table2Row, error) {
 			row.AutoMineSec = since(start)
 
 			start = now()
-			gzEng, err := core.NewEngine(w.G, w.Plan, core.Options{Threads: BaselineThreads})
+			gzEng, err := core.NewEngine(w.G, w.Plan, core.Options{Threads: BaselineThreads, Kernel: core.KernelMergeOnly})
 			if err != nil {
 				return nil, err
 			}
@@ -169,7 +172,9 @@ func Fig7(threadCounts []int) ([]Fig7Row, error) {
 	var rows []Fig7Row
 	var base float64
 	for _, th := range threadCounts {
-		eng, err := core.NewEngine(w.G, w.Plan, core.Options{Threads: th})
+		// Merge-only: MElemPerSec is a merge-element throughput (bandwidth)
+		// proxy, which only means something when every set op merges.
+		eng, err := core.NewEngine(w.G, w.Plan, core.Options{Threads: th, Kernel: core.KernelMergeOnly})
 		if err != nil {
 			return nil, err
 		}

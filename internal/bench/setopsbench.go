@@ -1,0 +1,204 @@
+package bench
+
+// Set-operation kernel benchmark: micro-kernels (merge vs galloping vs hub
+// bitmap on controlled operand shapes) plus end-to-end engine A/B runs
+// (Kernel: Auto vs MergeOnly) on power-law Table-I stand-ins. The JSON this
+// emits is committed as BENCH_setops.json so kernel regressions are visible
+// in review; regenerate with `go run ./cmd/experiments bench-setops`.
+// Times are host-dependent — the committed ratios, not the absolute ns,
+// are the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/setops"
+)
+
+// SetopsMicroRow is one micro-kernel measurement.
+type SetopsMicroRow struct {
+	Case           string  `json:"case"`   // operand shape, e.g. "skewed-1/64"
+	Kernel         string  `json:"kernel"` // merge | gallop | bitmap
+	NsPerOp        float64 `json:"ns_per_op"`
+	SpeedupVsMerge float64 `json:"speedup_vs_merge"`
+}
+
+// SetopsE2ERow is one end-to-end engine measurement.
+type SetopsE2ERow struct {
+	Workload       string  `json:"workload"`
+	Kernel         string  `json:"kernel"`
+	Seconds        float64 `json:"seconds"`
+	SpeedupVsMerge float64 `json:"speedup_vs_merge"`
+	Count          int64   `json:"count"` // mined count: must match across kernels
+	MergeIters     int64   `json:"merge_iters"`
+	GallopProbes   int64   `json:"gallop_probes"`
+	BitmapProbes   int64   `json:"bitmap_probes"`
+	LeafCountSkips int64   `json:"leaf_count_skips"`
+}
+
+// SetopsBenchReport is the full kernel-benchmark record.
+type SetopsBenchReport struct {
+	Note     string           `json:"note"`
+	Micro    []SetopsMicroRow `json:"micro"`
+	EndToEnd []SetopsE2ERow   `json:"end_to_end"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *SetopsBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// timeOp measures ns/op of f, growing the batch until the sample is long
+// enough to trust (≥ 20 ms).
+func timeOp(f func()) float64 {
+	f() // warm caches
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		el := time.Since(start)
+		if el >= 20*time.Millisecond {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		n *= 4
+	}
+}
+
+// skewedSets builds |b| = n with |a| = n/ratio sorted unique elements drawn
+// from b's value range.
+func skewedSets(n, ratio int) (a, b []setops.VID) {
+	r := rand.New(rand.NewSource(7))
+	b = make([]setops.VID, n)
+	for i := range b {
+		b[i] = setops.VID(2 * i)
+	}
+	seen := map[setops.VID]bool{}
+	for len(a) < n/ratio {
+		x := setops.VID(r.Intn(2 * n))
+		if !seen[x] {
+			seen[x] = true
+			a = append(a, x)
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return a, b
+}
+
+func microPair(caseName string, a, b []setops.VID, fast func(dst []setops.VID) []setops.VID, fastName string) []SetopsMicroRow {
+	dst := make([]setops.VID, 0, len(a)+len(b))
+	mergeNs := timeOp(func() { dst = setops.Intersect(dst[:0], a, b) })
+	fastNs := timeOp(func() { dst = fast(dst[:0]) })
+	return []SetopsMicroRow{
+		{Case: caseName, Kernel: "merge", NsPerOp: mergeNs, SpeedupVsMerge: 1},
+		{Case: caseName, Kernel: fastName, NsPerOp: fastNs, SpeedupVsMerge: mergeNs / fastNs},
+	}
+}
+
+// e2eWorkloads are the engine A/B workloads: clique mining on power-law
+// stand-ins, where skewed intersections and hubs dominate. The symmetric
+// 4-clique plan keeps hub degrees intact; the oriented TC row shows the
+// (smaller) win that survives degree orientation.
+func e2eWorkloads() ([]Workload, error) {
+	var ws []Workload
+	symG, err := Get("Lj")
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan.Compile(pattern.KClique(4), plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ws = append(ws, Workload{App: "4-CL-sym", Dataset: "Lj", G: symG, Plan: pl})
+	tc, err := NewWorkload("TC", "Or")
+	if err != nil {
+		return nil, err
+	}
+	ws = append(ws, tc)
+	return ws, nil
+}
+
+// SetopsBench runs the full kernel benchmark.
+func SetopsBench(threads int) (*SetopsBenchReport, error) {
+	if threads <= 0 {
+		threads = 4
+	}
+	rep := &SetopsBenchReport{
+		Note: "kernel A/B baseline; ns are host-dependent, ratios are the regression signal",
+	}
+
+	aSkew, bSkew := skewedSets(1<<14, 64)
+	rep.Micro = append(rep.Micro, microPair("intersect-skewed-1/64", aSkew, bSkew,
+		func(dst []setops.VID) []setops.VID {
+			return setops.IntersectGalloping(dst, aSkew, bSkew, setops.NoBound)
+		}, "gallop")...)
+
+	aHub, bHub := skewedSets(1<<14, 128)
+	bm := make([]uint64, setops.BitmapWords(int(bHub[len(bHub)-1])+1))
+	for _, x := range bHub {
+		bm[x>>6] |= 1 << (x & 63)
+	}
+	rep.Micro = append(rep.Micro, microPair("intersect-hub-bitmap", aHub, bHub,
+		func(dst []setops.VID) []setops.VID {
+			dst, _ = setops.IntersectBitmap(dst, aHub, bm, setops.NoBound)
+			return dst
+		}, "bitmap")...)
+
+	ws, err := e2eWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		label := w.App + "/" + w.Dataset
+		var mergeSec float64
+		var mergeCount int64
+		for _, kernel := range []core.KernelPolicy{core.KernelMergeOnly, core.KernelAuto} {
+			eng, err := core.NewEngine(w.G, w.Plan, core.Options{Threads: threads, Kernel: kernel})
+			if err != nil {
+				return nil, err
+			}
+			// Best of three: wall-clock A/B on shared CI hosts is noisy.
+			var best core.Result
+			sec := 0.0
+			for trial := 0; trial < 3; trial++ {
+				start := now()
+				res := eng.Mine()
+				if s := since(start); trial == 0 || s < sec {
+					sec, best = s, res
+				}
+			}
+			row := SetopsE2ERow{
+				Workload:       label,
+				Kernel:         kernel.String(),
+				Seconds:        sec,
+				Count:          best.Count(),
+				MergeIters:     best.Stats.SetOpIterations,
+				GallopProbes:   best.Stats.GallopProbes,
+				BitmapProbes:   best.Stats.BitmapProbes,
+				LeafCountSkips: best.Stats.LeafCountsSkippedMaterialize,
+			}
+			if kernel == core.KernelMergeOnly {
+				mergeSec, mergeCount = sec, best.Count()
+				row.SpeedupVsMerge = 1
+			} else {
+				row.SpeedupVsMerge = mergeSec / sec
+				if best.Count() != mergeCount {
+					return nil, fmt.Errorf("setops bench %s: kernel %v count %d != merge count %d",
+						label, kernel, best.Count(), mergeCount)
+				}
+			}
+			rep.EndToEnd = append(rep.EndToEnd, row)
+		}
+	}
+	return rep, nil
+}

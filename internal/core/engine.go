@@ -64,6 +64,18 @@ type Options struct {
 
 	// CMapBanks is the hash c-map bank count (default 4).
 	CMapBanks int
+
+	// Kernel selects the set-operation kernels (default KernelAuto:
+	// input-aware galloping/bitmap/merge selection). Counts are invariant
+	// under this policy; only CPU wall-clock and the per-kernel Stats
+	// counters change. The simulator ignores it — SIU/SDU cycle accounting
+	// is always merge-model (see kernels.go).
+	Kernel KernelPolicy
+
+	// HubBitmaps caps how many top-degree vertices get precomputed dense
+	// adjacency bitmaps (KernelAuto/KernelBitmap only). 0 picks
+	// graph.DefaultHubBitmaps; negative disables the index.
+	HubBitmaps int
 }
 
 func (o Options) withDefaults() Options {
@@ -79,14 +91,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats aggregates per-run instrumentation.
+// Stats aggregates per-run instrumentation. The three kernel counters
+// attribute set-operation work to the kernel that did it, so -kernel A/B
+// runs are comparable: SetOpIterations counts only merge-loop iterations
+// actually executed (the SIU/SDU work proxy), GallopProbes counts galloping
+// element comparisons, and BitmapProbes counts hub-bitmap word probes.
 type Stats struct {
 	Tasks           int64 // scheduled tasks executed (sub-tasks when slicing)
 	Extensions      int64 // vertices pushed onto ancestor stacks
 	Candidates      int64 // candidates emitted after pruning
 	SetOpIterations int64 // merge-loop iterations (SIU/SDU work proxy)
+	GallopProbes    int64 // galloping-kernel element comparisons
+	BitmapProbes    int64 // hub-bitmap word probes
 	FrontierReuses  int64 // candidate lists built from a memoized frontier
-	CMap            cmap.Stats
+
+	// LeafCountsSkippedMaterialize counts leaf evaluations that produced
+	// their count via a counting kernel without materializing the
+	// candidate list (the count-only leaf optimization).
+	LeafCountsSkippedMaterialize int64
+
+	CMap cmap.Stats
 }
 
 func (s *Stats) add(o *Stats) {
@@ -94,7 +118,10 @@ func (s *Stats) add(o *Stats) {
 	s.Extensions += o.Extensions
 	s.Candidates += o.Candidates
 	s.SetOpIterations += o.SetOpIterations
+	s.GallopProbes += o.GallopProbes
+	s.BitmapProbes += o.BitmapProbes
 	s.FrontierReuses += o.FrontierReuses
+	s.LeafCountsSkippedMaterialize += o.LeafCountsSkippedMaterialize
 	s.CMap.Add(o.CMap)
 }
 
@@ -120,7 +147,10 @@ type Engine struct {
 	o  Options
 }
 
-// NewEngine validates the plan/graph pairing and returns an engine.
+// NewEngine validates the plan/graph pairing and returns an engine. Under a
+// bitmap-capable kernel policy this also builds (or reuses) the graph's
+// hub-adjacency bitmap index, so the one-time build cost is paid at engine
+// construction, not inside the mining hot path.
 func NewEngine(g *graph.Graph, pl *plan.Plan, o Options) (*Engine, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
@@ -131,7 +161,19 @@ func NewEngine(g *graph.Graph, pl *plan.Plan, o Options) (*Engine, error) {
 	if !pl.RequiresDAG && g.IsDAG {
 		return nil, fmt.Errorf("core: plan %q requires a symmetric graph, got a DAG", pl.Patterns[0].Name())
 	}
-	return &Engine{g: g, pl: pl, o: o.withDefaults()}, nil
+	o = o.withDefaults()
+	hubIndexFor(g, o)
+	return &Engine{g: g, pl: pl, o: o}, nil
+}
+
+// hubIndexFor resolves the hub-bitmap index the options call for: nil when
+// the policy never probes bitmaps or the index is disabled, the graph's
+// shared (lazily built) index otherwise.
+func hubIndexFor(g *graph.Graph, o Options) *graph.HubIndex {
+	if o.HubBitmaps < 0 || (o.Kernel != KernelAuto && o.Kernel != KernelBitmap) {
+		return nil
+	}
+	return g.EnsureHubIndex(o.HubBitmaps)
 }
 
 // sliceElems resolves the slicing policy against the engine's input graph.
@@ -227,8 +269,9 @@ type worker struct {
 
 	emb       []graph.VID   // ancestor stack
 	levels    [][]graph.VID // per-level candidate buffers / frontiers
-	mergeA    []graph.VID   // ping-pong scratch for chained merges
+	mergeA    []graph.VID   // ping-pong scratch for chained set operations
 	mergeB    []graph.VID
+	hub       *graph.HubIndex // shared hub-adjacency bitmaps (nil if unused)
 	cm        cmap.Map
 	cmLevelOK []bool // c-map insertion succeeded at level (no overflow)
 
@@ -279,12 +322,17 @@ func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
 		o:         o,
 		emb:       make([]graph.VID, pl.K),
 		levels:    make([][]graph.VID, pl.K),
+		hub:       hubIndexFor(g, o),
 		cmLevelOK: make([]bool, pl.K),
 		counts:    make([]int64, len(pl.Patterns)),
 	}
 	for i := range w.levels {
 		w.levels[i] = make([]graph.VID, 0, g.MaxDegree())
 	}
+	// Pre-size the chained-merge scratch to the largest possible operand so
+	// the first hub task doesn't regrow it inside the DFS hot path.
+	w.mergeA = make([]graph.VID, 0, g.MaxDegree())
+	w.mergeB = make([]graph.VID, 0, g.MaxDegree())
 	switch o.CMap {
 	case CMapVector:
 		w.cm = cmap.NewVector(g.NumVertices())
@@ -318,6 +366,16 @@ func (w *worker) runTask(t sched.Task) bool {
 // walk matches the vertex for node n at the given depth and recurses.
 func (w *worker) walk(n *plan.Node, depth int) {
 	if w.stopped {
+		return
+	}
+	if n.IsLeaf() && w.visit == nil && !n.Op.MemoizeFrontier {
+		// Count-only leaf: nothing below this level reads the candidate
+		// list, so compute its size with a counting kernel instead of
+		// materializing w.levels[depth] just to take the length.
+		cnt := w.leafCount(n.Op, depth)
+		w.stats.Candidates += cnt
+		w.stats.LeafCountsSkippedMaterialize++
+		w.counts[n.PatternIdx] += cnt
 		return
 	}
 	cands := w.candidates(n.Op, depth)
@@ -383,43 +441,45 @@ func (w *worker) bound(op plan.VertexOp) graph.VID {
 
 // candidates computes the qualified candidate list for op into the per-level
 // buffer, applying (in order) the frontier/adjacency base, the symmetry
-// bound, connectivity constraints (via c-map queries when covered, merge set
+// bound, connectivity constraints (via c-map queries when covered, set
 // operations otherwise) and explicit distinctness checks.
 func (w *worker) candidates(op plan.VertexOp, depth int) []graph.VID {
 	bound := w.bound(op)
-
-	var base []graph.VID
-	var intersect, difference []int
-	if op.FrontierBase != plan.NoLevel {
-		base = setops.Bounded(w.levels[op.FrontierBase], bound)
-		intersect, difference = op.IntersectWith, op.DifferenceWith
-		w.stats.FrontierReuses++
-	} else {
-		adj := w.g.Adj(w.emb[op.Extender])
-		if depth == 1 && w.sliceHi >= 0 {
-			// Hub slicing: this task covers only elements [sliceLo, sliceHi)
-			// of the start vertex's adjacency (mirrors the PE's slice path).
-			lo, hi := w.sliceLo, w.sliceHi
-			if lo > len(adj) {
-				lo = len(adj)
-			}
-			if hi > len(adj) {
-				hi = len(adj)
-			}
-			adj = adj[lo:hi]
-		}
-		base = setops.Bounded(adj, bound)
-		intersect, difference = op.Connected, op.Disconnected
-	}
-
+	base, intersect, difference := w.baseFor(op, depth, bound)
 	out := w.levels[depth][:0]
 	if w.cmapCovers(intersect, difference) {
 		out = w.filterViaCMap(out, base, op, intersect, difference)
 	} else {
-		out = w.filterViaMerge(out, base, op, intersect, difference, bound)
+		out = w.filterViaSetOps(out, base, op, intersect, difference, bound)
 	}
 	w.levels[depth] = out
 	return out
+}
+
+// baseFor resolves op's starting candidate set under bound — a memoized
+// frontier or the extender's (possibly hub-sliced) adjacency — together with
+// the residual intersect/difference source levels. Shared by the
+// materializing (candidates) and count-only (leafCount) paths so both see
+// identical inputs.
+func (w *worker) baseFor(op plan.VertexOp, depth int, bound graph.VID) (base []graph.VID, intersect, difference []int) {
+	if op.FrontierBase != plan.NoLevel {
+		w.stats.FrontierReuses++
+		return setops.Bounded(w.levels[op.FrontierBase], bound), op.IntersectWith, op.DifferenceWith
+	}
+	adj := w.g.Adj(w.emb[op.Extender])
+	if depth == 1 && w.sliceHi >= 0 {
+		// Hub slicing: this task covers only elements [sliceLo, sliceHi)
+		// of the start vertex's adjacency (mirrors the PE's slice path).
+		lo, hi := w.sliceLo, w.sliceHi
+		if lo > len(adj) {
+			lo = len(adj)
+		}
+		if hi > len(adj) {
+			hi = len(adj)
+		}
+		adj = adj[lo:hi]
+	}
+	return setops.Bounded(adj, bound), op.Connected, op.Disconnected
 }
 
 // cmapCovers reports whether every queried level was successfully inserted
@@ -468,11 +528,14 @@ func (w *worker) filterViaCMap(out, base []graph.VID, op plan.VertexOp, intersec
 	return out
 }
 
-// filterViaMerge applies merge-based set intersections/differences (the
-// SIU/SDU path) and then the distinctness filter.
-func (w *worker) filterViaMerge(out, base []graph.VID, op plan.VertexOp, intersect, difference []int, bound graph.VID) []graph.VID {
-	// Chained merges ping-pong between two worker-owned scratch buffers;
-	// base (graph adjacency or a memoized frontier) is never written.
+// filterViaSetOps applies chained set intersections/differences through the
+// policy-selected kernels (merge = the SIU/SDU path, galloping, hub bitmap;
+// see kernels.go) and then the distinctness filter. Under KernelMergeOnly
+// this is exactly the classic merge chain.
+func (w *worker) filterViaSetOps(out, base []graph.VID, op plan.VertexOp, intersect, difference []int, bound graph.VID) []graph.VID {
+	// Chained operations ping-pong between two worker-owned scratch
+	// buffers; base (graph adjacency or a memoized frontier) is never
+	// written.
 	cur := base
 	useA := true
 	step := func(j int, diff bool) {
@@ -480,13 +543,7 @@ func (w *worker) filterViaMerge(out, base []graph.VID, op plan.VertexOp, interse
 		if useA {
 			dst = w.mergeA[:0]
 		}
-		var iters int64
-		if diff {
-			dst, iters = setops.DifferenceCost(dst, cur, w.g.Adj(w.emb[j]), bound)
-		} else {
-			dst, iters = setops.IntersectCost(dst, cur, w.g.Adj(w.emb[j]), bound)
-		}
-		w.stats.SetOpIterations += iters
+		dst = w.setOp(dst, cur, w.emb[j], diff, bound)
 		if useA {
 			w.mergeA = dst
 		} else {

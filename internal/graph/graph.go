@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // VID is a vertex identifier. The paper's hardware uses 32-bit keys in the
@@ -33,6 +34,11 @@ type Graph struct {
 	IsDAG bool
 
 	maxDegree int
+
+	// hub is the lazily built hub-adjacency bitmap index (see hub.go); it
+	// lives on the graph so it follows it through dataset/DAG caches.
+	hubMu sync.Mutex
+	hub   *HubIndex
 }
 
 // NumVertices returns |V|.

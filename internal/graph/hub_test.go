@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHubIndexBitmapsMatchAdjacency: every indexed hub's bitmap must encode
+// exactly its neighbor list; non-hubs must return nil.
+func TestHubIndexBitmapsMatchAdjacency(t *testing.T) {
+	g := ChungLu(800, 9600, 2.2, 11) // heavy-tailed: real hubs exist
+	h := g.EnsureHubIndex(8)
+	if h.Hubs() == 0 {
+		t.Fatal("no hubs indexed on a power-law graph")
+	}
+	if h.Hubs() > 8 {
+		t.Fatalf("indexed %d hubs, cap was 8", h.Hubs())
+	}
+	indexed := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		bm := h.Bitmap(VID(v))
+		if bm == nil {
+			continue
+		}
+		indexed++
+		if g.Degree(VID(v)) < hubMinDegree {
+			t.Errorf("vertex %d (deg %d) below hub threshold but indexed", v, g.Degree(VID(v)))
+		}
+		// Bitmap content == adjacency, bit by bit.
+		adj := g.Adj(VID(v))
+		j := 0
+		for w := 0; w < g.NumVertices(); w++ {
+			want := j < len(adj) && adj[j] == VID(w)
+			if want {
+				j++
+			}
+			got := bm[w>>6]>>(w&63)&1 != 0
+			if got != want {
+				t.Fatalf("hub %d bit %d = %v, want %v", v, w, got, want)
+			}
+		}
+	}
+	if indexed != h.Hubs() {
+		t.Errorf("slot table lists %d hubs, index reports %d", indexed, h.Hubs())
+	}
+}
+
+// TestHubIndexPicksHighestDegree: with K=1 the single indexed vertex must be
+// a maximum-degree vertex.
+func TestHubIndexPicksHighestDegree(t *testing.T) {
+	g := ChungLu(500, 6000, 2.3, 3)
+	h := g.EnsureHubIndex(1)
+	if h.Hubs() != 1 {
+		t.Fatalf("hubs = %d, want 1", h.Hubs())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if h.Bitmap(VID(v)) != nil && g.Degree(VID(v)) != g.MaxDegree() {
+			t.Errorf("indexed vertex %d has degree %d, max is %d", v, g.Degree(VID(v)), g.MaxDegree())
+		}
+	}
+}
+
+// TestHubIndexSparseGraph: a graph with no vertex above the threshold yields
+// an empty (but usable) index.
+func TestHubIndexSparseGraph(t *testing.T) {
+	g := Ring(64, 2)
+	h := g.EnsureHubIndex(16)
+	if h.Hubs() != 0 {
+		t.Errorf("ring graph indexed %d hubs", h.Hubs())
+	}
+	if h.Bitmap(0) != nil {
+		t.Error("non-hub returned a bitmap")
+	}
+	var nilIdx *HubIndex
+	if nilIdx.Bitmap(0) != nil || nilIdx.Hubs() != 0 {
+		t.Error("nil HubIndex not inert")
+	}
+}
+
+// TestEnsureHubIndexIdempotentConcurrent: concurrent Ensure calls must agree
+// on one index (first build wins).
+func TestEnsureHubIndexIdempotentConcurrent(t *testing.T) {
+	g := ChungLu(600, 7200, 2.3, 5)
+	const n = 16
+	out := make([]*HubIndex, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = g.EnsureHubIndex(4 + i) // differing K: first wins
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if out[i] != out[0] {
+			t.Fatal("EnsureHubIndex returned distinct indexes")
+		}
+	}
+}

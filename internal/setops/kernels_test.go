@@ -1,0 +1,207 @@
+package setops
+
+// Correctness and speedup coverage for the input-aware kernels (Seeker-based
+// galloping, bitmap probes, count-only variants). Every kernel must be
+// bit-identical to the merge reference; the benchmarks document the skewed
+// (|a|/|b| ≤ 1/32) and hub-bitmap regimes where the adaptive engine switches
+// away from merging.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeekerAscendingPass(t *testing.T) {
+	b := make([]VID, 0, 500)
+	for i := 0; i < 500; i++ {
+		b = append(b, VID(3*i+1))
+	}
+	var s Seeker
+	for x := VID(0); x < 1600; x++ {
+		want := Contains(b, x)
+		if got := s.Seek(b, x); got != want {
+			t.Fatalf("Seek(%d) = %v, want %v", x, got, want)
+		}
+	}
+	// Past the end: stays false without panicking.
+	if s.Seek(b, 5000) {
+		t.Error("Seek past end returned true")
+	}
+	s.Reset()
+	if !s.Seek(b, 1) {
+		t.Error("Seek(1) after Reset = false")
+	}
+}
+
+// TestSeekerProbesSublinear: an ascending pass over the whole large set must
+// cost far fewer probes than |a| independent Contains brackets would.
+func TestSeekerProbesSublinear(t *testing.T) {
+	big := make([]VID, 1<<16)
+	for i := range big {
+		big[i] = VID(i)
+	}
+	a := make([]VID, 256)
+	for i := range a {
+		a[i] = VID(i * 256) // evenly spread: gaps of 256, log(gap) ≈ 8
+	}
+	var stateful, stateless Seeker
+	for _, x := range a {
+		stateful.Seek(big, x)
+		stateless.Reset() // re-bracket from 0: the old Contains pattern
+		stateless.Seek(big, x)
+	}
+	// The cursor pays O(log gap) per key versus O(log position) re-bracketing
+	// from zero; on this spread it must be a clear constant factor cheaper.
+	if stateful.Probes*4 >= stateless.Probes*3 {
+		t.Errorf("cursor probes = %d, not sublinear vs stateless %d", stateful.Probes, stateless.Probes)
+	}
+}
+
+func TestGallopingKernelsMatchMerge(t *testing.T) {
+	f := func(a, b sortedSet, rawBound uint32) bool {
+		bound := VID(rawBound % 64)
+		if rawBound%5 == 0 {
+			bound = NoBound
+		}
+		gi, _ := IntersectGallopingCost(nil, a, b, bound)
+		gd, _ := DifferenceGallopingCost(nil, a, b, bound)
+		ci, _ := IntersectGallopingCount(a, b, bound)
+		cd, _ := DifferenceGallopingCount(a, b, bound)
+		mi := IntersectBelow(nil, a, b, bound)
+		md := DifferenceBelow(nil, a, b, bound)
+		return equalSets(gi, mi) && equalSets(gd, md) &&
+			ci == int64(len(mi)) && cd == int64(len(md))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDifferenceCountMatchesMaterialized(t *testing.T) {
+	f := func(a, b sortedSet, rawBound uint32) bool {
+		bound := VID(rawBound % 64)
+		if rawBound%3 == 0 {
+			bound = NoBound
+		}
+		return DifferenceCount(a, b, bound) == int64(len(DifferenceBelow(nil, a, b, bound)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// toBitmap densifies a sorted set for the bitmap kernels.
+func toBitmap(b []VID) []uint64 {
+	var n VID
+	if len(b) > 0 {
+		n = b[len(b)-1] + 1
+	}
+	bm := make([]uint64, BitmapWords(int(n)))
+	for _, x := range b {
+		bm[x>>6] |= 1 << (x & 63)
+	}
+	return bm
+}
+
+func TestBitmapKernelsMatchMerge(t *testing.T) {
+	f := func(a, b sortedSet, rawBound uint32) bool {
+		bound := VID(rawBound % 64)
+		if rawBound%5 == 0 {
+			bound = NoBound
+		}
+		bm := toBitmap(b)
+		bi, _ := IntersectBitmap(nil, a, bm, bound)
+		bd, _ := DifferenceBitmap(nil, a, bm, bound)
+		ci, _ := IntersectBitmapCount(a, bm, bound)
+		cd, _ := DifferenceBitmapCount(a, bm, bound)
+		mi := IntersectBelow(nil, a, b, bound)
+		md := DifferenceBelow(nil, a, b, bound)
+		return equalSets(bi, mi) && equalSets(bd, md) &&
+			ci == int64(len(mi)) && cd == int64(len(md))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapHasOutOfRange(t *testing.T) {
+	bm := toBitmap([]VID{1, 63, 64})
+	if !BitmapHas(bm, 64) || BitmapHas(bm, 65) || BitmapHas(bm, 1<<20) {
+		t.Error("BitmapHas boundary behavior wrong")
+	}
+	if BitmapHas(nil, 0) {
+		t.Error("BitmapHas(nil) = true")
+	}
+}
+
+// skewedInputs builds a skewed intersection workload: |a|/|b| = 1/ratio with
+// |b| = n, a random-ish but deterministic overlap.
+func skewedInputs(n, ratio int) (a, b []VID) {
+	r := rand.New(rand.NewSource(42))
+	b = make([]VID, n)
+	for i := range b {
+		b[i] = VID(2 * i)
+	}
+	seen := map[VID]bool{}
+	a = make([]VID, 0, n/ratio)
+	for len(a) < n/ratio {
+		x := VID(r.Intn(2 * n))
+		if !seen[x] {
+			seen[x] = true
+			a = append(a, x)
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return a, b
+}
+
+// The skewed pair: |a|/|b| = 1/64 ≤ 1/32, the regime where the adaptive
+// engine picks galloping. BENCH_setops.json records merge-vs-gallop here.
+func BenchmarkIntersectSkewedMerge(b *testing.B) {
+	a, big := skewedInputs(1<<14, 64)
+	dst := make([]VID, 0, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst[:0], a, big)
+	}
+}
+
+func BenchmarkIntersectSkewedGalloping(b *testing.B) {
+	a, big := skewedInputs(1<<14, 64)
+	dst := make([]VID, 0, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = IntersectGallopingCost(dst[:0], a, big, NoBound)
+	}
+}
+
+// The hub pair: a moderate candidate list against a degree-16k hub held as a
+// dense bitmap (word probes, the software c-map analog).
+func BenchmarkIntersectHubMerge(b *testing.B) {
+	a, hub := skewedInputs(1<<14, 128)
+	dst := make([]VID, 0, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Intersect(dst[:0], a, hub)
+	}
+}
+
+func BenchmarkIntersectHubBitmap(b *testing.B) {
+	a, hub := skewedInputs(1<<14, 128)
+	bm := toBitmap(hub)
+	dst := make([]VID, 0, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = IntersectBitmap(dst[:0], a, bm, NoBound)
+	}
+}
+
+func BenchmarkIntersectSkewedCountOnly(b *testing.B) {
+	a, big := skewedInputs(1<<14, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectGallopingCount(a, big, NoBound)
+	}
+}

@@ -1,9 +1,16 @@
-// Package setops implements the merge-based sorted-set operations that
-// dominate GPM runtime (§III): intersection, difference and their counting
-// and bounded variants. The paper's SIU (set intersection unit) and SDU (set
-// difference unit) execute one merge-loop iteration per cycle (Fig 9); the
-// instrumented variants here report that iteration count so the simulator can
-// charge exact SIU/SDU cycles.
+// Package setops implements the sorted-set operations that dominate GPM
+// runtime (§III): intersection, difference and their counting and bounded
+// variants. The paper's SIU (set intersection unit) and SDU (set difference
+// unit) execute one merge-loop iteration per cycle (Fig 9); the instrumented
+// merge variants here report that iteration count so the simulator can charge
+// exact SIU/SDU cycles.
+//
+// Alongside the merge kernels, the package provides the input-aware software
+// kernels CPU frameworks use — galloping (exponential search) intersection/
+// difference for skewed operand sizes, and probe kernels against dense
+// bitmaps (precomputed hub adjacency) — all computing bit-identical results.
+// The simulator never uses these: accelerator cycle accounting is defined on
+// the merge model only (see DESIGN.md "Software kernels vs SIU/SDU").
 //
 // All inputs must be ascending sorted unique vertex-ID slices, as produced by
 // the graph package.
@@ -122,6 +129,37 @@ func DifferenceCost(dst, a, b []VID, bound VID) ([]VID, int64) {
 	return dst, iters
 }
 
+// DifferenceCount returns |{x ∈ a \ b : x < bound}| without materializing.
+func DifferenceCount(a, b []VID, bound VID) int64 {
+	n, _ := DifferenceCountCost(a, b, bound)
+	return n
+}
+
+// DifferenceCountCost is DifferenceCount instrumented with merge iterations.
+func DifferenceCountCost(a, b []VID, bound VID) (int64, int64) {
+	i, j := 0, 0
+	var n, iters int64
+	for i < len(a) {
+		iters++
+		x := a[i]
+		if x >= bound {
+			break
+		}
+		if j >= len(b) || x < b[j] {
+			n++
+			i++
+			continue
+		}
+		if x == b[j] {
+			i++
+			j++
+			continue
+		}
+		j++
+	}
+	return n, iters
+}
+
 // Contains reports membership of x in the sorted slice a via galloping
 // (exponential + binary) search. Software frameworks fall back to this when
 // one side of an intersection is much smaller.
@@ -147,18 +185,205 @@ func Contains(a []VID, x VID) bool {
 	return lo < len(a) && a[lo] == x
 }
 
+// Seeker is a stateful galloping cursor over one sorted set. Unlike repeated
+// Contains calls — which re-bracket from index 0 and cost O(log|b|) each — a
+// Seeker remembers where the previous key landed, so a pass of ascending keys
+// costs O(log gap) per key: the galloping kernels below are
+// O(|a|·log(|b|/|a|)) instead of O(|a|·log|b|).
+//
+// Keys passed to Seek must be non-decreasing across calls for a given set
+// (Reset between sets); Probes accumulates element comparisons, the CPU-cost
+// proxy reported as Stats.GallopProbes by the engine.
+type Seeker struct {
+	pos    int
+	Probes int64
+}
+
+// Reset rewinds the cursor for a fresh ascending pass.
+func (s *Seeker) Reset() { s.pos = 0 }
+
+// Seek advances the cursor to the first element ≥ x and reports whether that
+// element equals x.
+func (s *Seeker) Seek(a []VID, x VID) bool {
+	n := len(a)
+	lo := s.pos
+	if lo >= n {
+		return false
+	}
+	// Gallop forward from the cursor to bracket x.
+	hi := n
+	step := 1
+	for lo+step < n && a[lo+step] < x {
+		s.Probes++
+		lo += step
+		step <<= 1
+	}
+	if lo+step < n {
+		s.Probes++ // the comparison that stopped the gallop
+		hi = lo + step + 1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		s.Probes++
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.pos = lo
+	return lo < n && a[lo] == x
+}
+
 // IntersectGalloping intersects a small set a against a much larger set b by
 // galloping lookups; used by the CPU engine when len(a) << len(b).
 func IntersectGalloping(dst, a, b []VID, bound VID) []VID {
+	dst, _ = IntersectGallopingCost(dst, a, b, bound)
+	return dst
+}
+
+// IntersectGallopingCost is IntersectGalloping instrumented with the number
+// of element comparisons (gallop probes) executed.
+func IntersectGallopingCost(dst, a, b []VID, bound VID) ([]VID, int64) {
+	var s Seeker
 	for _, x := range a {
 		if x >= bound {
 			break
 		}
-		if Contains(b, x) {
+		if s.Seek(b, x) {
 			dst = append(dst, x)
 		}
 	}
+	return dst, s.Probes
+}
+
+// IntersectGallopingCount returns |{x ∈ a ∩ b : x < bound}| and gallop probes
+// without materializing the result.
+func IntersectGallopingCount(a, b []VID, bound VID) (int64, int64) {
+	var s Seeker
+	var n int64
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		if s.Seek(b, x) {
+			n++
+		}
+	}
+	return n, s.Probes
+}
+
+// DifferenceGalloping appends {x ∈ a \ b : x < bound} to dst via galloping
+// lookups into b; used when len(a) << len(b).
+func DifferenceGalloping(dst, a, b []VID, bound VID) []VID {
+	dst, _ = DifferenceGallopingCost(dst, a, b, bound)
 	return dst
+}
+
+// DifferenceGallopingCost is DifferenceGalloping instrumented with gallop
+// probes.
+func DifferenceGallopingCost(dst, a, b []VID, bound VID) ([]VID, int64) {
+	var s Seeker
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		if !s.Seek(b, x) {
+			dst = append(dst, x)
+		}
+	}
+	return dst, s.Probes
+}
+
+// DifferenceGallopingCount returns |{x ∈ a \ b : x < bound}| and gallop
+// probes without materializing the result.
+func DifferenceGallopingCount(a, b []VID, bound VID) (int64, int64) {
+	var s Seeker
+	var n int64
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		if !s.Seek(b, x) {
+			n++
+		}
+	}
+	return n, s.Probes
+}
+
+// BitmapWords returns the number of uint64 words a dense vertex bitmap needs
+// to cover IDs < n.
+func BitmapWords(n int) int { return (n + 63) / 64 }
+
+// BitmapHas reports whether vertex x is set in the dense bitmap bm (indexed
+// by vertex ID; out-of-range IDs read as absent).
+func BitmapHas(bm []uint64, x VID) bool {
+	w := int(x >> 6)
+	return w < len(bm) && bm[w]>>(x&63)&1 != 0
+}
+
+// IntersectBitmap appends {x ∈ a : x < bound, bm[x]} to dst: intersection of
+// a with a set held as a dense bitmap (a precomputed hub adjacency). Each
+// element costs one word probe, the software analog of a c-map hit. The
+// second result is the probe count.
+func IntersectBitmap(dst, a []VID, bm []uint64, bound VID) ([]VID, int64) {
+	var probes int64
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		probes++
+		if BitmapHas(bm, x) {
+			dst = append(dst, x)
+		}
+	}
+	return dst, probes
+}
+
+// DifferenceBitmap appends {x ∈ a : x < bound, !bm[x]} to dst (set difference
+// against a bitmap-held set) and returns the probe count.
+func DifferenceBitmap(dst, a []VID, bm []uint64, bound VID) ([]VID, int64) {
+	var probes int64
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		probes++
+		if !BitmapHas(bm, x) {
+			dst = append(dst, x)
+		}
+	}
+	return dst, probes
+}
+
+// IntersectBitmapCount is IntersectBitmap without materialization.
+func IntersectBitmapCount(a []VID, bm []uint64, bound VID) (int64, int64) {
+	var n, probes int64
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		probes++
+		if BitmapHas(bm, x) {
+			n++
+		}
+	}
+	return n, probes
+}
+
+// DifferenceBitmapCount is DifferenceBitmap without materialization.
+func DifferenceBitmapCount(a []VID, bm []uint64, bound VID) (int64, int64) {
+	var n, probes int64
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		probes++
+		if !BitmapHas(bm, x) {
+			n++
+		}
+	}
+	return n, probes
 }
 
 // Bounded returns the prefix of a with elements < bound (a is sorted).
