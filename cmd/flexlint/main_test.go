@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// moduleRoot finds the repo root from this test file's location, so the
+// tests work regardless of the go test working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file))) // cmd/flexlint -> repo root
+}
+
+// TestRunFlagsSeededViolations drives the multichecker against a known-bad
+// testdata package and asserts the non-zero exit plus the expected
+// diagnostic — the satellite acceptance check for the CLI itself.
+func TestRunFlagsSeededViolations(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run(root, []string{"./internal/lint/testdata/src/statsum"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "statsum:") {
+		t.Errorf("stdout missing statsum diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "does not aggregate field(s)") {
+		t.Errorf("stdout missing aggregation message:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "invariant violation") {
+		t.Errorf("stderr missing summary line:\n%s", stderr.String())
+	}
+}
+
+// TestRunCleanPackage asserts exit 0 and silence on a clean package.
+func TestRunCleanPackage(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run(root, []string{"./internal/setops"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected stdout:\n%s", stdout.String())
+	}
+}
+
+// TestRunBadPattern asserts the usage exit code for unmatched patterns.
+func TestRunBadPattern(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	if code := run(root, []string{"./no/such/dir/..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,78 @@
+package lint
+
+// boundarg guards the symmetry-bound plumbing through the set-operation
+// kernels. Every bound-aware kernel takes the ID upper bound as its final
+// parameter, conventionally named `bound`; the recurring bug shape (the one
+// the internal/setops property tests probe dynamically) is calling such a
+// kernel with a constant bound — usually NoBound — from a context where the
+// real variable bound is sitting in scope, silently disabling symmetry
+// breaking and inflating counts. boundarg flags exactly that shape: a call
+// whose final `bound` parameter receives a compile-time constant while a
+// variable named `bound` assignable to that parameter is visible at the call
+// site.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Boundarg is the production instance (all packages).
+var Boundarg = NewBoundarg()
+
+// NewBoundarg builds a boundarg instance.
+func NewBoundarg() *Analyzer {
+	return &Analyzer{
+		Name: "boundarg",
+		Doc:  "flag constant bounds passed to bound-aware kernels while a variable bound is in scope",
+		Run:  runBoundarg,
+	}
+}
+
+func runBoundarg(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkBoundArg(pass, call)
+			return true
+		})
+	}
+}
+
+func checkBoundArg(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.Pkg, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	if sig.Variadic() || params.Len() == 0 || len(call.Args) != params.Len() {
+		return
+	}
+	last := params.At(params.Len() - 1)
+	if last.Name() != "bound" {
+		return
+	}
+	arg := call.Args[len(call.Args)-1]
+	tv, ok := pass.Pkg.Info.Types[arg]
+	if !ok || tv.Value == nil {
+		return // not a compile-time constant
+	}
+	// A variable named `bound` visible at the call site that could have been
+	// passed instead makes the constant suspicious.
+	scope := pass.Pkg.Types.Scope().Innermost(call.Pos())
+	if scope == nil {
+		return
+	}
+	_, obj := scope.LookupParent("bound", call.Pos())
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if !types.AssignableTo(v.Type(), last.Type()) {
+		return
+	}
+	pass.Reportf(arg.Pos(), "passes a constant bound to %s while variable `bound` is in scope; dropping the symmetry bound inflates counts — pass bound", fn.Name())
+}

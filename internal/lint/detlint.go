@@ -1,0 +1,202 @@
+package lint
+
+// detlint guards the determinism of the cycle model: the simulator, the
+// c-map model and the plan compiler must produce bit-identical output for
+// identical input, or the paper figures (Table II, Fig 7, Figs 13–16) stop
+// reproducing. Three bug shapes are forbidden inside the scoped packages:
+//
+//  1. time.Now — wall-clock leaking into modeled state;
+//  2. the unseeded global math/rand source (package-level rand.Intn & co.;
+//     rand.New(rand.NewSource(seed)) is the sanctioned spelling);
+//  3. map iteration whose body's effects depend on iteration order: appends
+//     to slices declared outside the loop (candidate lists, constraint
+//     lists, returned slices), writes to fields of a Stats struct, and
+//     channel sends (simulator events).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetlintConfig scopes the analyzer.
+type DetlintConfig struct {
+	Scope []string
+}
+
+// Detlint is the production instance, scoped to the deterministic core.
+var Detlint = NewDetlint(DetlintConfig{
+	Scope: []string{"repro/internal/sim", "repro/internal/cmap", "repro/internal/plan"},
+})
+
+// NewDetlint builds a detlint instance with the given scope (tests point it
+// at fixture packages).
+func NewDetlint(cfg DetlintConfig) *Analyzer {
+	return &Analyzer{
+		Name:  "detlint",
+		Doc:   "forbid wall-clock, unseeded randomness, and order-dependent map iteration in the deterministic core",
+		Scope: cfg.Scope,
+		Run:   runDetlint,
+	}
+}
+
+// seededRandCtors are the math/rand package-level functions that do not
+// touch the unseeded global source.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDetlint(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+}
+
+func checkDetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeOf(pass.Pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "time.Now breaks cycle-model determinism; thread simulated time instead")
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil && !seededRandCtors[fn.Name()] {
+			pass.Reportf(call.Pos(), "rand.%s uses the unseeded global source; use rand.New(rand.NewSource(seed)) for reproducible runs", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags order-dependent effects inside `range m` loops over
+// maps. The one sanctioned append shape is the determinism idiom itself —
+// collect the keys, sort them after the loop — so appends whose target is
+// passed to a sort/slices call after the range are allowed.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.Pkg.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	declaredOutside := func(e ast.Expr) bool {
+		id := rootIdent(e)
+		if id == nil {
+			return false
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[id]
+		}
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && statsField(pass.Pkg, sel) {
+					pass.Reportf(n.Pos(), "writes %s.%s in map-iteration order; Stats must accumulate deterministically — iterate sorted keys", statsRecvName(sel), sel.Sel.Name)
+					continue
+				}
+				if i < len(n.Rhs) && isAppendCall(n.Rhs[i]) && declaredOutside(lhs) &&
+					!sortedAfterRange(pass, file, rng, lhs) {
+					pass.Reportf(n.Pos(), "appends to %q in map-iteration order; collect keys, sort them, then append", rootIdent(lhs).Name)
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && statsField(pass.Pkg, sel) {
+				pass.Reportf(n.Pos(), "writes %s.%s in map-iteration order; Stats must accumulate deterministically — iterate sorted keys", statsRecvName(sel), sel.Sel.Name)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "sends events in map-iteration order; drain a sorted key slice instead")
+		}
+		return true
+	})
+}
+
+// sortedAfterRange reports whether the variable behind lhs is handed to a
+// sort (or slices) call after the range statement inside the same file — the
+// collect-then-sort determinism idiom.
+func sortedAfterRange(pass *Pass, file *ast.File, rng *ast.RangeStmt, lhs ast.Expr) bool {
+	target := rootIdent(lhs)
+	if target == nil {
+		return false
+	}
+	obj := pass.Pkg.Info.Uses[target]
+	if obj == nil {
+		obj = pass.Pkg.Info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() < rng.End() {
+			return !sorted
+		}
+		fn := calleeOf(pass.Pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil && pass.Pkg.Info.Uses[id] == obj {
+				sorted = true
+			}
+			// sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+			// mentions x inside the comparator too; catch either spelling.
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isAppendCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}
+
+// statsField reports whether sel selects a field whose receiver is a struct
+// type named Stats.
+func statsField(pkg *Package, sel *ast.SelectorExpr) bool {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Stats"
+}
+
+func statsRecvName(sel *ast.SelectorExpr) string {
+	if id := rootIdent(sel.X); id != nil {
+		return id.Name
+	}
+	return "Stats"
+}

@@ -1,0 +1,316 @@
+package lint
+
+// kernelpin guards the meaning of the paper figures. Table II, Fig 7 and the
+// accelerator speedup baselines model merge-based systems (GraphZero,
+// AutoMine) and the SIU/SDU cycle model, so every core.Options constructed
+// on a path reachable from the paper-figure runners must pin
+// Kernel: KernelMergeOnly — the adaptive kernels (PR 2) are benchmarked
+// separately and must never leak into the figures. The analyzer builds a
+// static call/reference graph from the runner roots, finds every reachable
+// core.Options composite literal, and accepts exactly two shapes: the
+// KernelMergeOnly constant, or a parameter of the enclosing function that is
+// itself pinned to KernelMergeOnly at every reachable call site (the
+// BaselineSeconds → KernelSeconds plumbing).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// KernelpinConfig names the roots and the pinned option.
+type KernelpinConfig struct {
+	RootsPkg    string   // package defining the paper-figure runners
+	Roots       []string // function/method names of the runners
+	OptionsPkg  string   // package defining the Options struct
+	OptionsType string   // "Options"
+	Field       string   // "Kernel"
+	Want        string   // "KernelMergeOnly"
+}
+
+// Kernelpin is the production instance.
+var Kernelpin = NewKernelpin(KernelpinConfig{
+	RootsPkg:    "repro/internal/bench",
+	Roots:       []string{"Table2", "Fig7", "BaselineSeconds"},
+	OptionsPkg:  "repro/internal/core",
+	OptionsType: "Options",
+	Field:       "Kernel",
+	Want:        "KernelMergeOnly",
+})
+
+// NewKernelpin builds a kernelpin instance (tests point the roots at fixture
+// packages).
+func NewKernelpin(cfg KernelpinConfig) *Analyzer {
+	return &Analyzer{
+		Name:        "kernelpin",
+		Doc:         "paper-figure runner paths must construct core.Options with Kernel: KernelMergeOnly",
+		ProgramWide: true,
+		Run:         func(pass *Pass) { runKernelpin(pass, cfg) },
+	}
+}
+
+// funcBody pairs a declared function with its defining package.
+type funcBody struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+func runKernelpin(pass *Pass, cfg KernelpinConfig) {
+	// Index every declared function in the program.
+	bodies := map[*types.Func]funcBody{}
+	for _, pkg := range pass.Prog.Packages() {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = funcBody{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+
+	// Reachability from the runner roots: any referenced function counts
+	// (calls, and function values handed to schedulers/closures).
+	reachable := map[*types.Func]bool{}
+	roots := map[*types.Func]bool{}
+	var queue []*types.Func
+	for fn := range bodies {
+		if fn.Pkg() != nil && fn.Pkg().Path() == cfg.RootsPkg && hasName(cfg.Roots, fn.Name()) {
+			reachable[fn] = true
+			roots[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		b := bodies[fn]
+		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := b.pkg.Info.Uses[id].(*types.Func); ok {
+				if _, declared := bodies[callee]; declared && !reachable[callee] {
+					reachable[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// needs[fn] = parameter indices that must receive the Want constant at
+	// every reachable call site. Grown to a fixpoint: a call site that
+	// forwards its own parameter adds a need one level up.
+	needs := map[*types.Func]map[int]bool{}
+	addNeed := func(fn *types.Func, idx int) bool {
+		if needs[fn] == nil {
+			needs[fn] = map[int]bool{}
+		}
+		if needs[fn][idx] {
+			return false
+		}
+		needs[fn][idx] = true
+		return true
+	}
+
+	// Phase 1: find Options literals in reachable functions; literals whose
+	// Kernel value is a parameter seed the needs set.
+	type litSite struct {
+		fn  *types.Func
+		pkg *Package
+		lit *ast.CompositeLit
+	}
+	var lits []litSite
+	for fn := range reachable {
+		b := bodies[fn]
+		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if ok && isOptionsType(b.pkg, lit, cfg) {
+				lits = append(lits, litSite{fn: fn, pkg: b.pkg, lit: lit})
+			}
+			return true
+		})
+	}
+	for _, s := range lits {
+		val := kernelFieldValue(s.lit, cfg.Field)
+		if val == nil {
+			continue // reported in phase 2
+		}
+		if idx, ok := paramIndexOf(s.pkg, s.fn, val); ok {
+			addNeed(s.fn, idx)
+		}
+	}
+	// Propagate: a reachable call that forwards a caller parameter into a
+	// needed position extends the need to the caller.
+	for changed := true; changed; {
+		changed = false
+		for fn := range reachable {
+			b := bodies[fn]
+			ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeOf(b.pkg, call)
+				if callee == nil || len(needs[callee]) == 0 {
+					return true
+				}
+				for idx := range needs[callee] {
+					if idx >= len(call.Args) {
+						continue
+					}
+					if pidx, ok := paramIndexOf(b.pkg, fn, call.Args[idx]); ok {
+						if addNeed(fn, pidx) {
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: report. Literals must pin the constant or forward a needed
+	// parameter; needed parameters must receive the constant (or another
+	// needed parameter) at every reachable call site.
+	for _, s := range lits {
+		val := kernelFieldValue(s.lit, cfg.Field)
+		if val == nil {
+			pass.Reportf(s.lit.Pos(), "%s.%s constructed on a paper-runner path without %s: %s (zero value selects the adaptive kernels and changes what the figures measure)",
+				pkgBase(cfg.OptionsPkg), cfg.OptionsType, cfg.Field, cfg.Want)
+			continue
+		}
+		if isWantConst(s.pkg, val, cfg) {
+			continue
+		}
+		if idx, ok := paramIndexOf(s.pkg, s.fn, val); ok && needs[s.fn][idx] {
+			continue // pinned transitively at every reachable call site
+		}
+		pass.Reportf(val.Pos(), "%s.%s on a paper-runner path must be the %s constant (or a parameter pinned to it by every caller)",
+			cfg.OptionsType, cfg.Field, cfg.Want)
+	}
+	// A root runner that itself receives the policy as a parameter is never
+	// pinned by the checked graph — its callers (CLIs, tests) are outside
+	// it — so the need surfacing at a root is itself the violation.
+	for fn := range roots {
+		if len(needs[fn]) > 0 {
+			pass.Reportf(bodies[fn].decl.Pos(), "paper-figure runner %s forwards a caller-supplied kernel policy into %s.%s; runners must pin %s internally",
+				fn.Name(), pkgBase(cfg.OptionsPkg), cfg.OptionsType, cfg.Want)
+		}
+	}
+	for fn := range reachable {
+		b := bodies[fn]
+		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(b.pkg, call)
+			if callee == nil || len(needs[callee]) == 0 {
+				return true
+			}
+			for idx := range needs[callee] {
+				if idx >= len(call.Args) {
+					pass.Reportf(call.Pos(), "call to %s cannot be proven to pin %s (argument %d missing)", callee.Name(), cfg.Field, idx)
+					continue
+				}
+				arg := call.Args[idx]
+				if isWantConst(b.pkg, arg, cfg) {
+					continue
+				}
+				if pidx, ok := paramIndexOf(b.pkg, fn, arg); ok && needs[fn][pidx] {
+					continue
+				}
+				pass.Reportf(arg.Pos(), "call to %s on a paper-runner path passes an unpinned kernel policy; pass %s", callee.Name(), cfg.Want)
+			}
+			return true
+		})
+	}
+}
+
+func hasName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// isOptionsType reports whether lit constructs cfg.OptionsPkg.OptionsType.
+func isOptionsType(pkg *Package, lit *ast.CompositeLit, cfg KernelpinConfig) bool {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == cfg.OptionsType && obj.Pkg() != nil && obj.Pkg().Path() == cfg.OptionsPkg
+}
+
+// kernelFieldValue returns the expression assigned to the Kernel field in a
+// keyed composite literal, or nil when the field is absent.
+func kernelFieldValue(lit *ast.CompositeLit, field string) ast.Expr {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+			return kv.Value
+		}
+	}
+	return nil
+}
+
+// isWantConst reports whether e resolves to the cfg.Want constant of the
+// options package.
+func isWantConst(pkg *Package, e ast.Expr, cfg KernelpinConfig) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	c, ok := pkg.Info.Uses[id].(*types.Const)
+	return ok && c.Name() == cfg.Want && c.Pkg() != nil && c.Pkg().Path() == cfg.OptionsPkg
+}
+
+// paramIndexOf reports whether e is a direct reference to one of fn's
+// parameters, and which.
+func paramIndexOf(pkg *Package, fn *types.Func, e ast.Expr) (int, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return 0, false
+	}
+	params := fn.Type().(*types.Signature).Params()
+	for i := 0; i < params.Len(); i++ {
+		if params.At(i) == obj {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,122 @@
+// Package lint is flexlint: a suite of static analyzers that machine-check
+// the repo's convention-only invariants — simulator determinism, stats
+// aggregation completeness, paper-runner kernel pinning, lock discipline and
+// bound-argument plumbing. The paper's figures (Table II, Fig 7, Figs 13–16)
+// are only trustworthy when these invariants hold, so they are enforced at
+// the Go-source level and wired into CI, the same way GPM systems
+// machine-check symmetry/ordering invariants instead of hand-maintaining
+// them.
+//
+// The suite is built directly on go/ast and go/types (the build environment
+// has no module proxy, so golang.org/x/tools/go/analysis is unavailable);
+// the Analyzer/Pass/Diagnostic shapes deliberately mirror that API so the
+// analyzers can be ported to a multichecker if x/tools ever becomes
+// available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one invariant checker. Per-package analyzers receive one Pass
+// per target package; program-wide analyzers (kernelpin's call-graph
+// reachability) run once with Pass.Pkg == nil and inspect Pass.Prog.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Scope restricts a per-package analyzer to packages whose import path
+	// matches one of the entries (exact or suffix). Empty means every
+	// package.
+	Scope []string
+
+	// ProgramWide runs the analyzer once over the whole program instead of
+	// once per package.
+	ProgramWide bool
+
+	Run func(*Pass)
+}
+
+// applies reports whether the analyzer's scope covers pkgPath.
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer invocation's inputs and its report sink.
+type Pass struct {
+	Prog *Program
+	Pkg  *Package // nil for program-wide analyzers
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// calleeOf resolves the static callee of a call expression in pkg, or nil
+// when the callee is not a declared function/method (function values,
+// builtins, conversions).
+func calleeOf(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// rootIdent returns the base identifier of an lvalue-ish expression chain
+// (a, a.b.c, a[i].b, *a), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}

@@ -1,0 +1,191 @@
+package lint
+
+// lockcheck guards the two shared mutable structures on the mining hot path:
+// graph's lazily built hub-bitmap index and sched's work-stealing deques.
+// Both are guarded by plain mutexes, and both are reached from panicking
+// contexts (append can grow, user callbacks run under the scheduler), so two
+// bug shapes are flagged:
+//
+//  1. copied locks — a sync.Mutex (or a struct containing one) passed,
+//     received, ranged or assigned by value splits the lock into two
+//     independent ones and silently unsynchronizes the critical sections;
+//  2. non-deferred Unlock — an Unlock not issued via defer leaks the lock on
+//     any panic or early return added between Lock and Unlock.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockcheckConfig scopes the analyzer.
+type LockcheckConfig struct {
+	Scope []string
+}
+
+// Lockcheck is the production instance, scoped to the hub-index and deque
+// packages.
+var Lockcheck = NewLockcheck(LockcheckConfig{
+	Scope: []string{"repro/internal/graph", "repro/internal/sched"},
+})
+
+// NewLockcheck builds a lockcheck instance.
+func NewLockcheck(cfg LockcheckConfig) *Analyzer {
+	return &Analyzer{
+		Name:  "lockcheck",
+		Doc:   "flag copied mutexes and non-deferred Unlock in the hub-index and deque paths",
+		Scope: cfg.Scope,
+		Run:   runLockcheck,
+	}
+}
+
+func runLockcheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		deferred := map[*ast.CallExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				deferred[d.Call] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkUnlock(pass, n, deferred)
+			case *ast.FuncDecl:
+				checkLockSignature(pass, n)
+			case *ast.AssignStmt:
+				checkLockAssign(pass, n)
+			case *ast.RangeStmt:
+				checkLockRange(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnlock flags sync (RW)Mutex Unlock/RUnlock calls not issued through
+// defer.
+func checkUnlock(pass *Pass, call *ast.CallExpr, deferred map[*ast.CallExpr]bool) {
+	if deferred[call] {
+		return
+	}
+	fn := calleeOf(pass.Pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	if fn.Name() != "Unlock" && fn.Name() != "RUnlock" {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s outside defer leaks the lock on panic or early return; use `defer %s`", fn.Name(), fn.Name())
+}
+
+// checkLockSignature flags by-value receivers and parameters of
+// lock-containing types.
+func checkLockSignature(pass *Pass, decl *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if containsLock(tv.Type, nil) {
+				pass.Reportf(field.Pos(), "%s copies a lock-containing value (%s); use a pointer", what, tv.Type.String())
+			}
+		}
+	}
+	check(decl.Recv, "receiver")
+	if decl.Type.Params != nil {
+		check(decl.Type.Params, "parameter")
+	}
+}
+
+// checkLockAssign flags statements that copy an existing lock-containing
+// value. Fresh construction (composite literals, calls) is allowed — a value
+// that has never guarded anything can still be moved.
+func checkLockAssign(pass *Pass, n *ast.AssignStmt) {
+	if allBlank(n.Lhs) {
+		return // `_ = d` discards the value; nothing aliases the lock
+	}
+	for _, rhs := range n.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		tv, ok := pass.Pkg.Info.Types[rhs]
+		if ok && containsLock(tv.Type, nil) {
+			pass.Reportf(rhs.Pos(), "assignment copies a lock-containing value (%s); share a pointer instead", tv.Type.String())
+		}
+	}
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// checkLockRange flags `for _, v := range xs` where v copies a
+// lock-containing element.
+func checkLockRange(pass *Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// With `:=` the value is a fresh definition, recorded in Defs rather
+	// than Types; with `=` it is a plain expression.
+	var typ types.Type
+	if id, ok := ast.Unparen(rng.Value).(*ast.Ident); ok {
+		if obj, ok := pass.Pkg.Info.Defs[id]; ok && obj != nil {
+			typ = obj.Type()
+		}
+	}
+	if typ == nil {
+		tv, ok := pass.Pkg.Info.Types[rng.Value]
+		if !ok {
+			return
+		}
+		typ = tv.Type
+	}
+	if containsLock(typ, nil) {
+		pass.Reportf(rng.Value.Pos(), "range copies lock-containing elements (%s); index the slice or store pointers", typ.String())
+	}
+}
+
+// containsLock reports whether t directly embeds a sync.Mutex/RWMutex (as
+// itself, a struct field, or an array element — the shapes a plain copy
+// duplicates).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Once" || obj.Name() == "Cond") {
+			return true
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+// Package boundfix seeds bound-argument violations for the boundarg
+// analyzer tests, mirroring the setops kernel signatures.
+package boundfix
+
+import "repro/internal/setops"
+
+type vid = setops.VID
+
+const noBound = ^vid(0)
+
+// intersectCount mirrors a bound-aware counting kernel.
+func intersectCount(a, b []vid, bound vid) int64 {
+	var n int64
+	s := &setops.Seeker{}
+	for _, x := range a {
+		if x >= bound {
+			break
+		}
+		if s.Seek(b, x) {
+			n++
+		}
+	}
+	return n
+}
+
+// dropsBound calls the kernel with a constant while the real bound sits in
+// scope — the bug shape the setops property tests probe dynamically.
+func dropsBound(a, b []vid, bound vid) int64 {
+	return intersectCount(a, b, noBound) // want `passes a constant bound to intersectCount while variable .bound. is in scope`
+}
+
+// dropsRealKernel does the same against the real setops API.
+func dropsRealKernel(a, b []vid, bound vid) int64 {
+	return setops.IntersectCount(a, b, setops.NoBound) // want `passes a constant bound to IntersectCount while variable .bound. is in scope`
+}
+
+// passesBound forwards the variable: the sanctioned shape.
+func passesBound(a, b []vid, bound vid) int64 {
+	return intersectCount(a, b, bound)
+}
+
+// unboundedWrapper has no bound in scope, so the constant is the caller's
+// explicit, legitimate choice (the setops.Intersect → IntersectCost shape).
+func unboundedWrapper(a, b []vid) int64 {
+	return intersectCount(a, b, noBound)
+}
+
+// innerShadow declares its own bound after the call; the earlier call must
+// not see it.
+func innerShadow(a, b []vid) int64 {
+	n := intersectCount(a, b, noBound)
+	bound := vid(10)
+	return n + intersectCount(a, b, bound)
+}

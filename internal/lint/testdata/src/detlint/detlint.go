@@ -1,0 +1,75 @@
+// Package detfix seeds determinism violations for the detlint analyzer
+// tests. It is a fixture: never imported, only type-checked and linted.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stats mimics an instrumentation block whose writes must be
+// order-independent.
+type Stats struct {
+	Hits int64
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now breaks cycle-model determinism`
+}
+
+func unseeded() int {
+	r := rand.New(rand.NewSource(42)) // seeded source: allowed
+	return r.Intn(10) + rand.Intn(10) // want `rand\.Intn uses the unseeded global source`
+}
+
+func mapOrder(m map[int]int, s *Stats) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k) // want `appends to "out" in map-iteration order`
+		s.Hits += int64(v)   // want `map-iteration order`
+	}
+	return out
+}
+
+func mapOrderInc(m map[int]int, s *Stats) {
+	for range m {
+		s.Hits++ // want `map-iteration order`
+	}
+}
+
+func mapEvents(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want `sends events in map-iteration order`
+	}
+}
+
+// mapSortedKeys is the sanctioned determinism idiom: collect, sort, use.
+func mapSortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: allowed
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sliceOrder ranges a slice, not a map: appends are in input order.
+func sliceOrder(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// localAppend appends to a slice declared inside the loop body: no escape.
+func localAppend(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+// Package kernelfix seeds kernel-pinning violations for the kernelpin
+// analyzer tests. The test instance of the analyzer roots its reachability
+// at this package's Table2/Fig7/BaselineSeconds, mirroring the real
+// paper-figure runners, and the fixture constructs real
+// repro/internal/core.Options literals so type identity is exercised
+// end to end.
+package kernelfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// Table2 constructs one pinned literal, one literal missing the Kernel
+// field, and one pinned to the wrong constant.
+func Table2() {
+	use(core.Options{Threads: 20, Kernel: core.KernelMergeOnly}) // pinned: ok
+	use(core.Options{Threads: 20})                               // want `without Kernel: KernelMergeOnly`
+	use(core.Options{Kernel: core.KernelAuto})                   // want `must be the KernelMergeOnly constant`
+	use2(plan.Options{})                                         // different Options type: ignored
+}
+
+// Fig7 forwards through a parameter that every reachable caller pins: the
+// BaselineSeconds → KernelSeconds plumbing shape.
+func Fig7() {
+	kernelSeconds(core.KernelMergeOnly) // ok: pins the forwarded parameter
+}
+
+// BaselineSeconds forwards an unpinned policy into the same plumbing. Its
+// own parameter cannot be pinned by the checked graph (runners are entry
+// points), so forwarding it is reported at the runner itself.
+func BaselineSeconds(k core.KernelPolicy) { // want `runner BaselineSeconds forwards a caller-supplied kernel policy`
+	kernelSeconds(core.KernelAuto) // want `passes an unpinned kernel policy`
+	kernelSeconds(k)
+}
+
+// kernelSeconds is reachable plumbing whose Options literal takes its Kernel
+// from a parameter, so every reachable call site must pin it.
+func kernelSeconds(kernel core.KernelPolicy) {
+	use(core.Options{Threads: 1, Kernel: kernel})
+}
+
+// unreachable is never referenced from a runner: its unpinned literal is not
+// a paper-figure concern.
+func unreachable() {
+	use(core.Options{})
+}
+
+func use(core.Options)  {}
+func use2(plan.Options) {}

@@ -1,0 +1,76 @@
+// Package lockfix seeds lock-discipline violations for the lockcheck
+// analyzer tests, mirroring the deque/hub-index shapes.
+package lockfix
+
+import "sync"
+
+// deque mirrors sched's mutex-guarded work queue.
+type deque struct {
+	mu sync.Mutex
+	ts []int
+}
+
+// push holds the lock across an append without defer.
+func (d *deque) push(x int) {
+	d.mu.Lock()
+	d.ts = append(d.ts, x)
+	d.mu.Unlock() // want `Unlock outside defer leaks the lock`
+}
+
+// pop is the sanctioned shape.
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ts) == 0 {
+		return 0, false
+	}
+	t := d.ts[len(d.ts)-1]
+	d.ts = d.ts[:len(d.ts)-1]
+	return t, true
+}
+
+// byValue copies the mutex with its container.
+func byValue(d deque) int { // want `parameter copies a lock-containing value`
+	return len(d.ts)
+}
+
+// valueReceiver copies the mutex on every call.
+func (d deque) size() int { // want `receiver copies a lock-containing value`
+	return len(d.ts)
+}
+
+func copies(ds []deque) {
+	d := ds[0] // want `assignment copies a lock-containing value`
+	_ = d
+	for _, e := range ds { // want `range copies lock-containing elements`
+		_ = e
+	}
+	// Pointers and indexing share the lock: allowed.
+	p := &ds[0]
+	_ = p
+	for i := range ds {
+		_ = ds[i].ts
+	}
+	// Fresh construction is a move of a never-used lock: allowed.
+	fresh := deque{}
+	_ = fresh.ts
+}
+
+// rw exercises RUnlock.
+type rw struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func (r *rw) read() int {
+	r.mu.RLock()
+	n := r.n
+	r.mu.RUnlock() // want `RUnlock outside defer leaks the lock`
+	return n
+}
+
+func (r *rw) readOK() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}

@@ -1,0 +1,25 @@
+// Package statsfix seeds an incomplete Stats aggregation for the statsum
+// analyzer tests: Add covers Tasks and one nested sub-stats but drops the
+// two newest counters and one nested aggregate — exactly the cmap.Stats.Add
+// bug class of PR 1.
+package statsfix
+
+import "repro/internal/lint/testdata/src/statsumok"
+
+// Stats has two counters and one nested Stats its Add forgets. Label is
+// non-numeric and exempt.
+type Stats struct {
+	Tasks        int64
+	GallopProbes int64 // never aggregated
+	BitmapProbes int64 // never aggregated
+	Label        string
+	Sub          statsumok.Stats // aggregated
+	Dropped      statsumok.Stats // never aggregated
+}
+
+// Add forgets GallopProbes, BitmapProbes and Dropped.
+func (s *Stats) Add(o *Stats) { // want `Stats\.Add does not aggregate field\(s\) GallopProbes, BitmapProbes, Dropped`
+	s.Tasks += o.Tasks
+	s.Sub.Tasks += o.Sub.Tasks
+	s.Sub.Extensions += o.Sub.Extensions
+}

@@ -1,0 +1,23 @@
+// Package statsumok is the statsum control fixture: a complete merge (no
+// diagnostics expected), including an unexported merge name and a non-numeric
+// field that needs no aggregation.
+package statsumok
+
+// Stats is fully aggregated by its unexported merge method.
+type Stats struct {
+	Tasks      int64
+	Extensions int64
+	Name       string // non-numeric: exempt
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Tasks += o.Tasks
+	s.Extensions += o.Extensions
+}
+
+// Summary has no Add/Merge method at all (a graph.Stats-style report
+// struct): exempt from the check. It is not named Stats so it also
+// exercises the name filter.
+type Summary struct {
+	Vertices int
+}

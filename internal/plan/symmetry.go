@@ -12,6 +12,8 @@ package plan
 // a *later* level, so all constraints become vid upper bounds — exactly the
 // pruneBy bound field of the IR (Listing 1).
 
+import "sort"
+
 // SymmetryConstraint asserts emb[Hi] < emb[Lo] for levels Lo < Hi: the vertex
 // matched later must have the smaller data-vertex ID (the paper's convention,
 // e.g. {v1 < v0, v2 < v1, v3 < v0} for the 4-cycle).
@@ -47,14 +49,19 @@ func SymmetryOrder(q patternLike) []SymmetryConstraint {
 		}
 		// Orbit of v: all images under the remaining group. Every orbit
 		// member is > v (a smaller moved vertex would contradict v's
-		// minimality), so each constraint points at a later level.
+		// minimality), so each constraint points at a later level. The map
+		// is only a dedup set; members accumulate in deterministic auts
+		// order and are sorted, never emitted in map-iteration order.
 		orbit := map[int]bool{}
+		var members []int
 		for _, a := range auts {
-			if a[v] != v {
+			if a[v] != v && !orbit[a[v]] {
 				orbit[a[v]] = true
+				members = append(members, a[v])
 			}
 		}
-		for u := range orbit {
+		sort.Ints(members)
+		for _, u := range members {
 			out = append(out, SymmetryConstraint{Lo: v, Hi: u})
 		}
 		// Restrict to the stabilizer of v.

@@ -16,8 +16,8 @@ type deque struct {
 // push appends a batch (initial dealing, or the thief depositing loot).
 func (d *deque) push(ts []Task) {
 	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.ts = append(d.ts, ts...)
-	d.mu.Unlock()
 }
 
 // popFront removes and returns the frontmost task.

@@ -1,0 +1,175 @@
+package setops
+
+// Fuzz targets cross-check every kernel family against the merge reference:
+// the adaptive layer (galloping, bitmap, count-only) must agree with the
+// two-pointer merge on every input, for every bound, or the engine's kernel
+// auto-selection silently changes embedding counts. CI runs each target for a
+// few seconds as a smoke test; longer local runs use
+// `go test -fuzz FuzzIntersectKernels ./internal/setops`.
+
+import (
+	"sort"
+	"testing"
+)
+
+// decodeSets splits raw fuzz bytes into two sorted, deduplicated VID sets
+// plus a bound. The value domain is kept small (0..255) so collisions — the
+// interesting case for set operations — are common.
+func decodeSets(data []byte) (a, b []VID, bound VID) {
+	if len(data) == 0 {
+		return nil, nil, NoBound
+	}
+	split := int(data[0])
+	data = data[1:]
+	if split > len(data) {
+		split = len(data)
+	}
+	mk := func(raw []byte) []VID {
+		set := map[VID]bool{}
+		for _, v := range raw {
+			set[VID(v)] = true
+		}
+		out := make([]VID, 0, len(set))
+		for v := range set {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	a, b = mk(data[:split]), mk(data[split:])
+	// Derive a bound from the payload; exercise NoBound too.
+	switch {
+	case len(data) == 0:
+		bound = NoBound
+	case data[len(data)-1]%3 == 0:
+		bound = NoBound
+	default:
+		bound = VID(data[len(data)-1])
+	}
+	return a, b, bound
+}
+
+// refIntersect, refDifference and equalSets come from setops_test.go — the
+// fuzz targets share the property tests' reference implementations.
+
+// buildBitmap materializes b as a bitmap wide enough for every value in play.
+func buildBitmap(b []VID) []uint64 {
+	n := 256 // decodeSets caps the domain at 255
+	bm := make([]uint64, BitmapWords(n))
+	for _, v := range b {
+		bm[v>>6] |= 1 << (v & 63)
+	}
+	return bm
+}
+
+func FuzzIntersectKernels(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 2, 3, 4, 7})
+	f.Add([]byte{0, 5, 5, 5})
+	f.Add([]byte{8, 0, 1, 2, 3, 4, 5, 6, 7, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, bound := decodeSets(data)
+		want := refIntersect(a, b, bound)
+
+		if got := IntersectBelow(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("IntersectBelow(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := IntersectCost(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("IntersectCost(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got := IntersectCount(a, b, bound); got != int64(len(want)) {
+			t.Errorf("IntersectCount(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		if got, _ := IntersectCountCost(a, b, bound); got != int64(len(want)) {
+			t.Errorf("IntersectCountCost(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		if got := IntersectGalloping(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("IntersectGalloping(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := IntersectGallopingCost(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("IntersectGallopingCost(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := IntersectGallopingCount(a, b, bound); got != int64(len(want)) {
+			t.Errorf("IntersectGallopingCount(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		bm := buildBitmap(b)
+		if got, _ := IntersectBitmap(nil, a, bm, bound); !equalSets(got, want) {
+			t.Errorf("IntersectBitmap(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := IntersectBitmapCount(a, bm, bound); got != int64(len(want)) {
+			t.Errorf("IntersectBitmapCount(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		if bound == NoBound {
+			if got := Intersect(nil, a, b); !equalSets(got, want) {
+				t.Errorf("Intersect(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	})
+}
+
+func FuzzDifferenceKernels(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 2, 3, 4, 7})
+	f.Add([]byte{0, 5, 5, 5})
+	f.Add([]byte{8, 0, 1, 2, 3, 4, 5, 6, 7, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b, bound := decodeSets(data)
+		want := refDifference(a, b, bound)
+
+		if got := DifferenceBelow(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("DifferenceBelow(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := DifferenceCost(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("DifferenceCost(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got := DifferenceCount(a, b, bound); got != int64(len(want)) {
+			t.Errorf("DifferenceCount(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		if got, _ := DifferenceCountCost(a, b, bound); got != int64(len(want)) {
+			t.Errorf("DifferenceCountCost(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		if got := DifferenceGalloping(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("DifferenceGalloping(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := DifferenceGallopingCost(nil, a, b, bound); !equalSets(got, want) {
+			t.Errorf("DifferenceGallopingCost(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := DifferenceGallopingCount(a, b, bound); got != int64(len(want)) {
+			t.Errorf("DifferenceGallopingCount(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		bm := buildBitmap(b)
+		if got, _ := DifferenceBitmap(nil, a, bm, bound); !equalSets(got, want) {
+			t.Errorf("DifferenceBitmap(%v, %v, %d) = %v, want %v", a, b, bound, got, want)
+		}
+		if got, _ := DifferenceBitmapCount(a, bm, bound); got != int64(len(want)) {
+			t.Errorf("DifferenceBitmapCount(%v, %v, %d) = %d, want %d", a, b, bound, got, len(want))
+		}
+		if bound == NoBound {
+			if got := Difference(nil, a, b); !equalSets(got, want) {
+				t.Errorf("Difference(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+	})
+}
+
+// FuzzSeeker checks the stateful galloping cursor against plain binary
+// search over an ascending key pass — the contract the galloping kernels and
+// the engine's hub probes rely on.
+func FuzzSeeker(f *testing.F) {
+	f.Add([]byte{4, 1, 3, 5, 7, 0, 3, 6, 9})
+	f.Add([]byte{0, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, keys, _ := decodeSets(data) // both halves sorted ascending
+		var s Seeker
+		for _, x := range keys {
+			if got, want := s.Seek(set, x), Contains(set, x); got != want {
+				t.Fatalf("Seek(%v, %d) = %v, want %v (keys %v)", set, x, got, want, keys)
+			}
+		}
+		// A Reset must make the cursor reusable for a fresh pass.
+		s.Reset()
+		for _, x := range keys {
+			if got, want := s.Seek(set, x), Contains(set, x); got != want {
+				t.Fatalf("after Reset: Seek(%v, %d) = %v, want %v", set, x, got, want)
+			}
+		}
+	})
+}
