@@ -7,37 +7,129 @@
 //	experiments all            # everything (minutes)
 //	experiments table1 fig14   # selected experiments
 //	experiments -quick fig13   # reduced sweeps for smoke runs
+//	experiments table2 -metrics out.json -trace out.trace.json
+//
+// -metrics writes a JSON artifact of schedule-invariant counters and phase
+// timers; -trace writes a Chrome trace_event file of phase markers. Both use
+// the virtual clock, so two identical runs produce byte-identical files
+// (golden-enforced by the bench tests). Flags may appear before or after the
+// experiment names.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps (fewer apps/datasets/configs)")
+	metricsPath := flag.String("metrics", "", "write a metrics JSON artifact (counters + phase timers) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON artifact to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
-	args := flag.Args()
-	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] all|table1|table2|fig7|fig13|fig14|fig15|fig16|large|ablation|bench-setops ...")
+
+	// Accept flags after experiment names too (experiments table2 -metrics
+	// out.json): the flag package stops at the first positional argument, so
+	// re-parse whenever one of the remaining arguments looks like a flag.
+	var names []string
+	rest := flag.Args()
+	for len(rest) > 0 {
+		if strings.HasPrefix(rest[0], "-") {
+			if err := flag.CommandLine.Parse(rest); err != nil {
+				os.Exit(2)
+			}
+			rest = flag.Args()
+			continue
+		}
+		names = append(names, rest[0])
+		rest = rest[1:]
+	}
+
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] [-metrics FILE] [-trace FILE] [-pprof ADDR] all|table1|table2|fig7|fig13|fig14|fig15|fig16|large|ablation|bench-setops ...")
 		os.Exit(2)
 	}
-	if len(args) == 1 && args[0] == "all" {
-		args = []string{"table1", "table2", "fig7", "fig13", "fig14", "fig15", "fig16", "large", "ablation"}
+	if len(names) == 1 && names[0] == "all" {
+		names = []string{"table1", "table2", "fig7", "fig13", "fig14", "fig15", "fig16", "large", "ablation"}
 	}
-	for _, a := range args {
-		if err := runOne(a, *quick); err != nil {
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
+	// Artifacts read the virtual clock so repeated runs are byte-identical;
+	// wall-clock measurements stay in the printed tables only.
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry(nil)
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(nil, 0)
+	}
+
+	for _, a := range names {
+		var end func()
+		if reg != nil {
+			end = reg.StartPhase(a)
+		}
+		tracer.Emit(obs.CatPhase, a, 0, 0)
+		err := runOne(a, *quick, reg)
+		if end != nil {
+			end()
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a, err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
+
+	if err := writeArtifacts(*metricsPath, *tracePath, reg, tracer); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 }
 
-func runOne(name string, quick bool) error {
+func writeArtifacts(metricsPath, tracePath string, reg *obs.Registry, tr *obs.Tracer) error {
+	if reg != nil {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tr.Enabled() {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+func runOne(name string, quick bool, reg *obs.Registry) error {
 	w := os.Stdout
 	switch name {
 	case "table1":
@@ -48,6 +140,15 @@ func runOne(name string, quick bool) error {
 			return err
 		}
 		bench.PrintTable2(w, rows)
+		if reg != nil {
+			// Register the schedule-invariant row counters (AddStats skips
+			// the wall-clock seconds fields) so -metrics artifacts are
+			// deterministic.
+			for i := range rows {
+				r := &rows[i]
+				obs.AddStats(reg, fmt.Sprintf("table2.%s.%s", r.App, r.Dataset), r)
+			}
+		}
 	case "fig7":
 		var threads []int
 		if quick {
@@ -70,18 +171,42 @@ func runOne(name string, quick bool) error {
 			return err
 		}
 		bench.PrintFig14(w, rows)
+		if reg != nil {
+			for _, r := range rows {
+				for size, cyc := range r.Cycles {
+					reg.Set(fmt.Sprintf("fig14.%s.%s.cycles.%d", r.App, r.Dataset, size), cyc)
+				}
+			}
+		}
 	case "fig15":
 		rows, err := bench.Fig15(quick)
 		if err != nil {
 			return err
 		}
 		bench.PrintFig15(w, rows)
+		if reg != nil {
+			for _, r := range rows {
+				for pe, cyc := range r.Cycles {
+					reg.Set(fmt.Sprintf("fig15.%s.%s.cycles.%d", r.App, r.Dataset, pe), cyc)
+				}
+			}
+		}
 	case "fig16":
 		rows, err := bench.Fig16(quick)
 		if err != nil {
 			return err
 		}
 		bench.PrintFig16(w, rows)
+		if reg != nil {
+			for _, r := range rows {
+				for size, n := range r.NoC {
+					reg.Set(fmt.Sprintf("fig16.%s.%s.noc.%d", r.App, r.Dataset, size), n)
+				}
+				for size, n := range r.DRAM {
+					reg.Set(fmt.Sprintf("fig16.%s.%s.dram.%d", r.App, r.Dataset, size), n)
+				}
+			}
+		}
 	case "large":
 		rows, err := bench.LargePatterns(quick)
 		if err != nil {

@@ -8,6 +8,7 @@
 //	flexminer -app 3-MC -dataset Mi -engine both
 //	flexminer -app 5-CL -dataset Or -timeout 2s -stats
 //	flexminer -app 4-CL -dataset Lj -kernel merge -stats
+//	flexminer -app TC -dataset Mi -engine sim -metrics out.json -trace out.trace.json
 //
 // Either -graph (a file) or -dataset (a built-in Table I stand-in) selects
 // the input; either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
@@ -22,6 +23,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -47,6 +51,10 @@ type options struct {
 	slice              int
 	timeout            time.Duration
 	showPlan, statsOut bool
+
+	metricsPath string
+	tracePath   string
+	pprofAddr   string
 }
 
 func main() {
@@ -65,6 +73,9 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort after this long, printing partial results (0 = no limit)")
 	flag.BoolVar(&o.showPlan, "show-plan", false, "print the compiled execution plan IR")
 	flag.BoolVar(&o.statsOut, "stats", false, "print engine/simulator statistics")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write a metrics JSON artifact (counters + phase timers) to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON artifact to this file")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "flexminer:", err)
@@ -73,13 +84,42 @@ func main() {
 }
 
 func run(o options) error {
+	if o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "flexminer: pprof:", err)
+			}
+		}()
+	}
+	// Observability artifacts read the virtual clock, so repeated runs write
+	// byte-identical files; wall-clock timing stays on stdout only.
+	var reg *obs.Registry
+	if o.metricsPath != "" {
+		reg = obs.NewRegistry(nil)
+	}
+	var tracer *obs.Tracer
+	if o.tracePath != "" {
+		tracer = obs.NewTracer(nil, 0)
+	}
+	defer func() {
+		// Written in a defer so timeout partial-result paths still produce
+		// their artifacts.
+		if err := writeArtifacts(o, reg, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "flexminer:", err)
+		}
+	}()
+
+	endLoad := phase(reg, "load")
 	g, err := loadInput(o.graphPath, o.dataset)
+	endLoad()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(o.graphPath, o.dataset), g))
 
+	endPlan := phase(reg, "plan")
 	pl, mineG, err := buildPlan(g, o.app, o.patName, o.induced)
+	endPlan()
 	if err != nil {
 		return err
 	}
@@ -105,9 +145,18 @@ func run(o options) error {
 			return err
 		}
 		start := time.Now()
-		res, err := core.MineContext(ctx, mineG, pl, core.Options{
-			Threads: o.threads, SliceElems: o.slice, Kernel: kernel,
+		endBuild := phase(reg, "build-index")
+		eng, err := core.NewEngine(mineG, pl, core.Options{
+			Threads: o.threads, SliceElems: o.slice, Kernel: kernel, Trace: tracer,
 		})
+		endBuild()
+		if err != nil {
+			return err
+		}
+		endMine := phase(reg, "mine")
+		res, err := eng.MineContext(ctx)
+		endMine()
+		registerResult(reg, "cpu", res.Counts, &res.Stats)
 		if timedOut(err) {
 			fmt.Printf("cpu engine (%d threads, %s kernels): PARTIAL after %v (timeout): %s\n",
 				o.threads, kernel, time.Since(start), formatCounts(pl, res.Counts))
@@ -128,7 +177,11 @@ func run(o options) error {
 		if o.slice > 0 {
 			cfg.TaskSliceElems = o.slice
 		}
+		cfg.Trace = tracer
+		endSim := phase(reg, "simulate")
 		res, err := sim.SimulateContext(ctx, mineG, pl, cfg)
+		endSim()
+		registerResult(reg, "sim", res.Counts, &res.Stats)
 		if timedOut(err) {
 			fmt.Printf("accelerator (%d PEs, %s c-map): PARTIAL (timeout): %s after %d simulated cycles\n",
 				o.pes, cmapLabel(o.cmapBytes), formatCounts(pl, res.Counts), res.Stats.Cycles)
@@ -152,6 +205,64 @@ func run(o options) error {
 // the "print partials, exit nonzero" path.
 func timedOut(err error) bool {
 	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// phase opens a named phase timer on reg, tolerating a nil (disabled)
+// registry.
+func phase(reg *obs.Registry, name string) func() {
+	if reg == nil {
+		return func() {}
+	}
+	return reg.StartPhase(name)
+}
+
+// registerResult records an engine run's counts and schedule-invariant stats
+// under the given prefix (wall-clock float fields are skipped by AddStats).
+func registerResult(reg *obs.Registry, prefix string, counts []int64, stats any) {
+	if reg == nil {
+		return
+	}
+	for i, c := range counts {
+		reg.Set(fmt.Sprintf("%s.count.%d", prefix, i), c)
+	}
+	obs.AddStats(reg, prefix, stats)
+}
+
+// writeArtifacts flushes the metrics and trace files requested on the command
+// line; the trace also gets a text digest on stdout when -stats is set.
+func writeArtifacts(o options, reg *obs.Registry, tr *obs.Tracer) error {
+	if reg != nil {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tr.Enabled() {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChromeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if o.statsOut {
+			if err := tr.WriteSummary(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func printCPUStats(s core.Stats) {

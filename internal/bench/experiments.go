@@ -52,6 +52,15 @@ type Table2Row struct {
 	// paper's explanation for the gap.
 	SearchOblivious int64
 	SearchAware     int64
+
+	// Count is the mined pattern count (identical for both baselines, by
+	// check below). AutoMineStats/GraphZeroStats carry each run's full
+	// engine instrumentation; all are schedule-invariant, so exporting the
+	// row through obs.AddStats (which skips the wall-clock float fields
+	// above) yields a machine-independent metrics artifact.
+	Count          int64
+	AutoMineStats  core.Stats
+	GraphZeroStats core.Stats
 }
 
 // Table2Apps lists the apps of Table II (SL is excluded there because Gramer
@@ -112,6 +121,9 @@ func Table2(quick bool) ([]Table2Row, error) {
 			gzRes := gzEng.Mine()
 			row.GraphZeroSec = since(start)
 			row.SearchAware = gzRes.Stats.Extensions
+			row.Count = gzRes.Counts[0]
+			row.AutoMineStats = amRes.Stats
+			row.GraphZeroStats = gzRes.Stats
 
 			if amRes.Counts[0] != gzRes.Counts[0] {
 				return nil, fmt.Errorf("table2 %s/%s: count mismatch automine=%d graphzero=%d",

@@ -1,0 +1,67 @@
+package bench
+
+// Golden lockdown of the `experiments table2 -metrics` artifact: Table II's
+// registered counters are schedule-invariant and the datasets are seeded, so
+// the exported JSON is byte-identical across runs and machines. This test
+// mirrors exactly what cmd/experiments registers (one AddStats per row under
+// a per-experiment phase) and pins the bytes. Regenerate with:
+//
+//	go test ./internal/bench -run Table2MetricsGolden -update
+//
+// after any deliberate change to Table2Row, core.Stats, or the JSON schema.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden metrics artifact")
+
+func TestTable2MetricsGolden(t *testing.T) {
+	rows, err := Table2(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	export := func() []byte {
+		reg := obs.NewRegistry(obs.NewVirtualClock())
+		end := reg.StartPhase("table2")
+		for i := range rows {
+			r := &rows[i]
+			obs.AddStats(reg, fmt.Sprintf("table2.%s.%s", r.App, r.Dataset), r)
+		}
+		end()
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two exports of the same rows differ — registry export is nondeterministic")
+	}
+
+	path := filepath.Join("testdata", "golden", "table2_quick.metrics.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Errorf("table2 metrics drifted from golden %s; if the change is intended, rerun with -update and review", path)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cmap"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/setops"
@@ -76,6 +77,14 @@ type Options struct {
 	// adjacency bitmaps (KernelAuto/KernelBitmap only). 0 picks
 	// graph.DefaultHubBitmaps; negative disables the index.
 	HubBitmaps int
+
+	// Trace, when non-nil, receives scheduler events (task completions,
+	// work steals) and per-task kernel-dispatch summaries. Tracing never
+	// changes counts, stats, or scheduling — a nil Trace costs each task one
+	// pointer test. With >1 threads, event interleaving (and therefore
+	// virtual-clock timestamps) is schedule-dependent; byte-stable traces
+	// come from the simulator, whose coordinator serializes emission.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -224,10 +233,19 @@ func (e *Engine) mine(ctx context.Context, visit Visitor) (Result, error) {
 		workers[t] = newWorker(e.g, e.pl, e.o)
 		workers[t].visit = visit
 		workers[t].ctxDone = ctx.Done()
+		workers[t].widx = t
 	}
-	err := sched.Run(ctx, threads, tasks, func(t int, task sched.Task) bool {
+	var hooks sched.Hooks
+	if tr := e.o.Trace; tr.Enabled() {
+		hooks.OnSteal = func(thief, victim, ntasks int) {
+			tr.Emit(obs.CatSched, "steal", thief, 0,
+				obs.Arg{Key: "victim", Val: int64(victim)},
+				obs.Arg{Key: "tasks", Val: int64(ntasks)})
+		}
+	}
+	err := sched.RunHooked(ctx, threads, tasks, func(t int, task sched.Task) bool {
 		return workers[t].runTask(task)
-	})
+	}, hooks)
 	total := Result{Counts: make([]int64, len(e.pl.Patterns))}
 	for _, w := range workers {
 		for i, c := range w.counts {
@@ -282,6 +300,11 @@ type worker struct {
 	counts []int64
 	stats  Stats
 
+	// trace receives this worker's per-task events (nil when disabled);
+	// widx is the worker index used as the trace thread id.
+	trace *obs.Tracer
+	widx  int
+
 	// Cooperative cancellation: ctxDone is polled every cancelPollPeriod
 	// extensions; once it fires, stopped short-circuits the DFS.
 	ctxDone    <-chan struct{}
@@ -325,6 +348,7 @@ func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
 		hub:       hubIndexFor(g, o),
 		cmLevelOK: make([]bool, pl.K),
 		counts:    make([]int64, len(pl.Patterns)),
+		trace:     o.Trace,
 	}
 	for i := range w.levels {
 		w.levels[i] = make([]graph.VID, 0, g.MaxDegree())
@@ -346,6 +370,10 @@ func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
 // to its level-1 adjacency slice when the task is a hub sub-task) and reports
 // whether the worker may continue (false once cancellation latched).
 func (w *worker) runTask(t sched.Task) bool {
+	var before Stats
+	if w.trace.Enabled() {
+		before = w.stats
+	}
 	w.stats.Tasks++
 	root := w.pl.Root
 	w.emb[0] = t.V0
@@ -360,7 +388,25 @@ func (w *worker) runTask(t sched.Task) bool {
 		// leaves the map empty for the next task.
 		w.cmapRemove(root.Op, 0, t.V0)
 	}
+	if w.trace.Enabled() {
+		w.emitTaskTrace(t, &before)
+	}
 	return !w.stopped
+}
+
+// emitTaskTrace records the finished task and its kernel-dispatch summary:
+// one sched event per task, plus one kernel event attributing the task's
+// set-operation work to the kernels that executed it (the delta of the
+// per-kernel Stats counters across the task).
+func (w *worker) emitTaskTrace(t sched.Task, before *Stats) {
+	w.trace.Emit(obs.CatSched, "task", w.widx, 0,
+		obs.Arg{Key: "v0", Val: int64(t.V0)},
+		obs.Arg{Key: "extensions", Val: w.stats.Extensions - before.Extensions},
+		obs.Arg{Key: "candidates", Val: w.stats.Candidates - before.Candidates})
+	w.trace.Emit(obs.CatKernel, "dispatch", w.widx, 0,
+		obs.Arg{Key: "merge_iters", Val: w.stats.SetOpIterations - before.SetOpIterations},
+		obs.Arg{Key: "gallop_probes", Val: w.stats.GallopProbes - before.GallopProbes},
+		obs.Arg{Key: "bitmap_probes", Val: w.stats.BitmapProbes - before.BitmapProbes})
 }
 
 // walk matches the vertex for node n at the given depth and recurses.

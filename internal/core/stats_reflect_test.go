@@ -1,0 +1,61 @@
+package core
+
+// Runtime complement to the statsum lint: statsum proves Stats.add mentions
+// every field syntactically; this test proves the mentions actually
+// accumulate. It fills a Stats with distinct nonzero values via reflection —
+// so a field added tomorrow is swept in automatically — and checks that two
+// adds double every field, nested structs included.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillDistinctInts assigns each settable integer field (recursing through
+// nested structs) a distinct nonzero value.
+func fillDistinctInts(v reflect.Value, next *int64) {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if !f.CanSet() {
+			continue
+		}
+		switch f.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			*next++
+			f.SetInt(*next)
+		case reflect.Struct:
+			fillDistinctInts(f, next)
+		}
+	}
+}
+
+// checkDoubled asserts got == 2*want field-by-field, naming offenders.
+func checkDoubled(t *testing.T, prefix string, got, want reflect.Value) {
+	t.Helper()
+	for i := 0; i < got.NumField(); i++ {
+		name := prefix + got.Type().Field(i).Name
+		gf, wf := got.Field(i), want.Field(i)
+		switch gf.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if gf.Int() != 2*wf.Int() {
+				t.Errorf("Stats.add dropped or mis-merged %s: got %d, want %d",
+					name, gf.Int(), 2*wf.Int())
+			}
+		case reflect.Struct:
+			checkDoubled(t, name+".", gf, wf)
+		}
+	}
+}
+
+func TestStatsAddAggregatesEveryField(t *testing.T) {
+	var delta Stats
+	n := int64(0)
+	fillDistinctInts(reflect.ValueOf(&delta).Elem(), &n)
+	if n == 0 {
+		t.Fatal("no integer fields found in Stats — reflection walk broken")
+	}
+	var sum Stats
+	sum.add(&delta)
+	sum.add(&delta)
+	checkDoubled(t, "", reflect.ValueOf(sum), reflect.ValueOf(delta))
+}

@@ -1,0 +1,91 @@
+package obs_test
+
+// Registry-side field-enumeration drift test: pins the exact counter names
+// AddStats derives from every Stats struct the CLIs export. Adding a field
+// to core.Stats, sim.Stats, cmap.Stats, or bench.Table2Row fails this test
+// until the expectation here — and the golden metrics artifacts — are
+// updated, so no field can land without an explicit registration decision.
+// (The statsum lint guarantees Add/Merge coverage; this guarantees export
+// coverage.)
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cmap"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+var cmapMetricNames = []string{
+	"hits", "inserts", "lookups", "overflows", "probes", "removes",
+}
+
+var coreStatsMetricNames = []string{
+	"bitmap_probes",
+	"c_map.hits", "c_map.inserts", "c_map.lookups",
+	"c_map.overflows", "c_map.probes", "c_map.removes",
+	"candidates",
+	"extensions",
+	"frontier_reuses",
+	"gallop_probes",
+	"leaf_counts_skipped_materialize",
+	"set_op_iterations",
+	"tasks",
+}
+
+var simStatsMetricNames = []string{
+	"busy_cycles",
+	"c_map.hits", "c_map.inserts", "c_map.lookups",
+	"c_map.overflows", "c_map.probes", "c_map.removes",
+	"cycles",
+	"dram_accesses",
+	"extensions",
+	"l1_hits", "l1_misses", "l2_hits", "l2_misses",
+	"no_c_requests",
+	"sdu_iters",
+	"siu_iters",
+	"stall_cycles",
+	"tasks",
+}
+
+func prefixed(prefix string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = prefix + "." + n
+	}
+	return out
+}
+
+func TestRegisteredMetricEnumeration(t *testing.T) {
+	cases := []struct {
+		label string
+		stats any
+		want  []string
+	}{
+		{"cmap.Stats", cmap.Stats{}, prefixed("p", cmapMetricNames)},
+		{"core.Stats", core.Stats{}, prefixed("p", coreStatsMetricNames)},
+		{"sim.Stats", sim.Stats{}, prefixed("p", simStatsMetricNames)},
+		{"bench.Table2Row", bench.Table2Row{}, func() []string {
+			// The row embeds both baselines' engine stats plus its own
+			// schedule-invariant scalars; wall-clock seconds and the
+			// App/Dataset labels must NOT appear.
+			var names []string
+			names = append(names, prefixed("p.auto_mine_stats", coreStatsMetricNames)...)
+			names = append(names, "p.count")
+			names = append(names, prefixed("p.graph_zero_stats", coreStatsMetricNames)...)
+			names = append(names, "p.search_aware", "p.search_oblivious")
+			return names
+		}()},
+	}
+	for _, c := range cases {
+		got := obs.StatsMetricNames("p", c.stats)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s metric enumeration drifted:\n got %v\nwant %v\n"+
+				"a Stats field was added/renamed without updating this registration contract (and the golden metrics artifacts)",
+				c.label, got, c.want)
+		}
+	}
+}

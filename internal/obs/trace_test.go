@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(CatSched, "steal", 0, 0)      // must not panic
+	tr.EmitAt(CatSimPE, "task", 1, 10, 5) // must not panic
+	if ev := tr.Events(); len(ev) != 0 {
+		t.Errorf("nil tracer has events: %v", ev)
+	}
+	if tr.Dropped() != 0 {
+		t.Error("nil tracer dropped != 0")
+	}
+}
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(), 8)
+	tr.Emit(CatSched, "steal", 2, 0, Arg{Key: "victim", Val: 1}, Arg{Key: "tasks", Val: 4})
+	tr.EmitAt(CatSimPE, "task", 0, 100, 40, Arg{Key: "v0", Val: 7})
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].Cat != CatSched || ev[0].Name != "steal" || ev[0].TID != 2 || ev[0].TS != 1 {
+		t.Errorf("event[0] = %+v", ev[0])
+	}
+	if ev[1].TS != 100 || ev[1].Dur != 40 || ev[1].Args[0].Val != 7 {
+		t.Errorf("event[1] = %+v", ev[1])
+	}
+	cats := tr.Categories()
+	if len(cats) != 2 || cats[0] != CatSched || cats[1] != CatSimPE {
+		t.Errorf("categories = %v", cats)
+	}
+}
+
+func TestRingOverflowKeepsNewest(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(), 4)
+	for i := 0; i < 10; i++ {
+		tr.EmitAt(CatKernel, "op", 0, int64(i), 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := int64(6 + i); e.TS != want {
+			t.Errorf("event[%d].TS = %d, want %d (oldest dropped first)", i, e.TS, want)
+		}
+	}
+	if d := tr.Dropped(); d != 6 {
+		t.Errorf("dropped = %d, want 6", d)
+	}
+}
+
+func TestDefaultCapacityAndClock(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	if tr.cap != DefaultTraceCap {
+		t.Errorf("cap = %d, want %d", tr.cap, DefaultTraceCap)
+	}
+	tr.Emit(CatPhase, "load", 0, 0)
+	if ev := tr.Events(); len(ev) != 1 || ev[0].TS != 1 {
+		t.Errorf("default clock not virtual: %+v", ev)
+	}
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(), 16)
+	tr.EmitAt(CatSimPE, "task", 3, 10, 25, Arg{Key: "v0", Val: 42})
+	tr.Emit(CatSched, "steal", 1, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Cat  string           `json:"cat"`
+			Ph   string           `json:"ph"`
+			TS   int64            `json:"ts"`
+			Dur  int64            `json:"dur"`
+			TID  int              `json:"tid"`
+			S    string           `json:"s"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("traceEvents = %d, want 2", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[0]
+	if span.Ph != "X" || span.Dur != 25 || span.TS != 10 || span.Args["v0"] != 42 {
+		t.Errorf("span event = %+v", span)
+	}
+	inst := doc.TraceEvents[1]
+	if inst.Ph != "i" || inst.S != "t" {
+		t.Errorf("instant event = %+v", inst)
+	}
+	// Byte determinism for an identical emission sequence.
+	tr2 := NewTracer(NewVirtualClock(), 16)
+	tr2.EmitAt(CatSimPE, "task", 3, 10, 25, Arg{Key: "v0", Val: 42})
+	tr2.Emit(CatSched, "steal", 1, 0)
+	var buf2 bytes.Buffer
+	if err := tr2.WriteChromeJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("identical emission sequences exported different bytes")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(), 4)
+	for i := 0; i < 6; i++ {
+		tr.EmitAt(CatKernel, "siu", 0, int64(i), 3)
+	}
+	tr.EmitAt(CatSched, "dispatch", 0, 99, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 events retained", "3 dropped", "kernel", "siu", "dispatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkTraceOverheadDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(CatKernel, "op", 0, 0, Arg{Key: "iters", Val: int64(i)})
+		}
+	}
+}
+
+func BenchmarkTraceOverheadEnabled(b *testing.B) {
+	tr := NewTracer(NewVirtualClock(), 1<<10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			tr.Emit(CatKernel, "op", 0, 0, Arg{Key: "iters", Val: int64(i)})
+		}
+	}
+}

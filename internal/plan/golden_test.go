@@ -1,0 +1,73 @@
+package plan
+
+// Golden-plan lockdown: the compiled IR (matching order, symmetry bounds,
+// connectivity constraints, c-map and frontier hints) for every connected
+// 5-vertex pattern, plus the oriented 5-clique plan, is checked in under
+// testdata/golden. A compiler change that alters any pruning decision shows
+// up as a reviewable diff instead of a silent perf/correctness shift.
+// Regenerate with:
+//
+//	go test ./internal/plan -run PlanGolden -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden plan files")
+
+func checkPlanGolden(t *testing.T, name string, pl *Plan) {
+	t.Helper()
+	got := []byte(pl.String())
+	path := filepath.Join("testdata", "golden", name+".plan")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("compiled plan for %s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestFiveVertexPlanGolden(t *testing.T) {
+	motifs := pattern.Motifs(5)
+	if len(motifs) != 21 {
+		t.Fatalf("Motifs(5) = %d patterns, want 21 connected 5-vertex graphs", len(motifs))
+	}
+	for _, p := range motifs {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			pl, err := Compile(p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pl.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			checkPlanGolden(t, p.Name(), pl)
+		})
+	}
+}
+
+func TestCliqueDAGPlanGolden(t *testing.T) {
+	pl, err := CompileCliqueDAG(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanGolden(t, "5-clique-dag", pl)
+}

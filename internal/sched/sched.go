@@ -7,6 +7,16 @@ import (
 	"sync/atomic"
 )
 
+// Hooks observe scheduler-internal events for the observability layer
+// (internal/obs). The zero value observes nothing; callbacks run on the
+// worker goroutine that triggered the event, so implementations must be
+// cheap and safe for concurrent use.
+type Hooks struct {
+	// OnSteal fires after a successful steal: thief took ntasks tasks from
+	// victim's deque (both are worker indices).
+	OnSteal func(thief, victim, ntasks int)
+}
+
 // Run executes every task at most once across workers goroutines using
 // per-worker deques with work stealing, and exactly once when the run is
 // neither cancelled nor stopped. fn is invoked with the worker index
@@ -15,6 +25,11 @@ import (
 // — nil unless the context was cancelled or expired, in which case callers
 // hold partial results.
 func Run(ctx context.Context, workers int, tasks []Task, fn func(worker int, t Task) bool) error {
+	return RunHooked(ctx, workers, tasks, fn, Hooks{})
+}
+
+// RunHooked is Run with scheduler-event observation.
+func RunHooked(ctx context.Context, workers int, tasks []Task, fn func(worker int, t Task) bool, h Hooks) error {
 	if workers < 1 {
 		workers = 1
 	}
@@ -63,11 +78,14 @@ func Run(ctx context.Context, workers int, tasks []Task, fn func(worker int, t T
 					if unclaimed.Load() == 0 {
 						return
 					}
-					if !steal(deques, w, self) {
+					victim, n := steal(deques, w, self)
+					if n == 0 {
 						// Work exists but is in flight (being executed, or
 						// mid-transfer in a thief's hands); tasks never
 						// respawn, so yield and re-sweep.
 						runtime.Gosched()
+					} else if h.OnSteal != nil {
+						h.OnSteal(w, victim, n)
 					}
 					continue
 				}
@@ -84,14 +102,17 @@ func Run(ctx context.Context, workers int, tasks []Task, fn func(worker int, t T
 }
 
 // steal sweeps the other deques from self+1 onward and moves the first
-// non-empty victim's back half into the thief's own deque.
-func steal(deques []deque, self int, into *deque) bool {
+// non-empty victim's back half into the thief's own deque, reporting the
+// victim index and the number of tasks taken (0 when every sweep came up
+// empty).
+func steal(deques []deque, self int, into *deque) (victim, n int) {
 	for off := 1; off < len(deques); off++ {
-		v := &deques[(self+off)%len(deques)]
+		vi := (self + off) % len(deques)
+		v := &deques[vi]
 		if loot := v.stealTail(); len(loot) > 0 {
 			into.push(loot)
-			return true
+			return vi, len(loot)
 		}
 	}
-	return false
+	return 0, 0
 }

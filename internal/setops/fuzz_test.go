@@ -37,12 +37,15 @@ func decodeSets(data []byte) (a, b []VID, bound VID) {
 		return out
 	}
 	a, b = mk(data[:split]), mk(data[split:])
-	// Derive a bound from the payload; exercise NoBound too.
+	// Derive a bound from the payload; exercise NoBound and the degenerate
+	// bound==0 (nothing survives the filter) alongside ordinary bounds.
 	switch {
 	case len(data) == 0:
 		bound = NoBound
 	case data[len(data)-1]%3 == 0:
 		bound = NoBound
+	case data[len(data)-1]%5 == 0:
+		bound = 0
 	default:
 		bound = VID(data[len(data)-1])
 	}

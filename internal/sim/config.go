@@ -15,6 +15,8 @@
 // access per cycle for single-group probes (§VI-A), 1.3 GHz PEs.
 package sim
 
+import "repro/internal/obs"
+
 // Config describes an accelerator configuration. The zero value is unusable;
 // start from DefaultConfig.
 type Config struct {
@@ -69,6 +71,14 @@ type Config struct {
 	// otherwise dominate the makespan and mask every other effect. Slicing
 	// restores the paper's task-count-to-PE ratio. 0 = per-vertex tasks.
 	TaskSliceElems int
+
+	// Trace, when non-nil, receives scheduler dispatch decisions, SIU/SDU
+	// operation spans, and PE task/retire transitions, all timestamped in PE
+	// cycles (obs.Tracer.EmitAt — the tracer clock is never consulted).
+	// Tracing never calls tick(), so cycle counts are invariant under it,
+	// and because the coordinator serializes PE execution the emission
+	// sequence — hence the exported trace — is deterministic.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig mirrors the paper's evaluation setup (§VII-A): 1.3 GHz PEs,

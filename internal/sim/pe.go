@@ -9,6 +9,7 @@ package sim
 import (
 	"repro/internal/cmap"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 	"repro/internal/setops"
@@ -147,6 +148,7 @@ func (p *pe) readAdjPrefix(v graph.VID, bound graph.VID) []graph.VID {
 // (restricted to its level-1 adjacency slice, when slicing is enabled),
 // mirroring core.worker.runTask.
 func (p *pe) runTask(t sched.Task) {
+	start := p.clock
 	p.tasks++
 	p.tick(int64(p.sim.cfg.SchedLatency))
 	root := p.sim.pl.Root
@@ -160,6 +162,12 @@ func (p *pe) runTask(t sched.Task) {
 	}
 	if inserted {
 		p.cmapRemove(root.Op, 0, t.V0)
+	}
+	if tr := p.sim.cfg.Trace; tr.Enabled() {
+		// PE state transition span: Working from task acceptance through the
+		// last backtrack (timestamps are PE cycles; tracing charges none).
+		tr.EmitAt(obs.CatSimPE, "task", p.id, start, p.clock-start,
+			obs.Arg{Key: "v0", Val: int64(t.V0)})
 	}
 }
 
@@ -362,6 +370,7 @@ func (p *pe) filterViaMerge(out, base []graph.VID, op plan.VertexOp, intersect, 
 	useA := true
 	scalar := int64(p.sim.cfg.ScalarSetOpCycles)
 	step := func(j int, diff bool) {
+		opStart := p.clock
 		// Stream the second operand (the first is cur, just produced).
 		p.readAdjPrefix(p.emb[j], bound)
 		dst := p.mergeB[:0]
@@ -377,6 +386,15 @@ func (p *pe) filterViaMerge(out, base []graph.VID, op plan.VertexOp, intersect, 
 			p.siuIters += iters
 		}
 		p.tick(iters * (1 + scalar))
+		if tr := p.sim.cfg.Trace; tr.Enabled() {
+			name := "siu"
+			if diff {
+				name = "sdu"
+			}
+			// Span covers operand streaming plus the merge loop.
+			tr.EmitAt(obs.CatKernel, name, p.id, opStart, p.clock-opStart,
+				obs.Arg{Key: "iters", Val: iters})
+		}
 		if useA {
 			p.mergeA = dst
 		} else {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cmap"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sched"
 )
@@ -173,6 +174,11 @@ func (s *simulator) run() {
 			continue
 		case evNeedTask:
 			if s.nextTask < len(s.tasks) && !s.cancelled() {
+				if tr := s.cfg.Trace; tr.Enabled() {
+					tr.EmitAt(obs.CatSched, "dispatch", ev.pe.id, ev.t, 0,
+						obs.Arg{Key: "task", Val: int64(s.nextTask)},
+						obs.Arg{Key: "v0", Val: int64(s.tasks[s.nextTask].V0)})
+				}
 				ev.pe.reply <- int64(s.nextTask)
 				s.nextTask++
 			} else {
@@ -198,6 +204,9 @@ func (p *pe) loop() {
 	for {
 		id := p.await(evNeedTask, 0)
 		if id < 0 {
+			if tr := p.sim.cfg.Trace; tr.Enabled() {
+				tr.EmitAt(obs.CatSimPE, "retire", p.id, p.clock, 0)
+			}
 			p.sim.evCh <- event{pe: p, kind: evDone, t: p.clock}
 			return
 		}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Coverage ratchet: every package listed in COVERAGE_RATCHET.txt must keep
+# statement coverage at or above its recorded floor. Run from anywhere:
+#
+#   ./scripts/coverage.sh
+#
+# Profiles are left under $COVERDIR (default: a temp dir) for inspection with
+# `go tool cover -html=<profile>`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ratchet=COVERAGE_RATCHET.txt
+coverdir=${COVERDIR:-$(mktemp -d)}
+fail=0
+
+while read -r pkg floor _; do
+    case "$pkg" in '' | \#*) continue ;; esac
+    profile="$coverdir/$(echo "$pkg" | tr / _).cover.out"
+    out=$(go test -coverprofile="$profile" "$pkg" | tail -n 1)
+    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "FAIL $pkg: could not parse coverage from: $out" >&2
+        fail=1
+        continue
+    fi
+    if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p + 0 >= f + 0) }'; then
+        echo "ok   $pkg ${pct}% (floor ${floor}%)"
+    else
+        echo "FAIL $pkg ${pct}% is below the ${floor}% floor in $ratchet" >&2
+        fail=1
+    fi
+done <"$ratchet"
+
+exit "$fail"
