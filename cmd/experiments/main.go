@@ -8,12 +8,19 @@
 //	experiments table1 fig14   # selected experiments
 //	experiments -quick fig13   # reduced sweeps for smoke runs
 //	experiments table2 -metrics out.json -trace out.trace.json
+//	experiments report -metrics out.json -timeseries out.ts.json
 //
 // -metrics writes a JSON artifact of schedule-invariant counters and phase
 // timers; -trace writes a Chrome trace_event file of phase markers. Both use
 // the virtual clock, so two identical runs produce byte-identical files
 // (golden-enforced by the bench tests). Flags may appear before or after the
 // experiment names.
+//
+// A panicking experiment is caught, the suite continues, and the command
+// exits nonzero after printing a per-experiment status summary; -exp-timeout
+// bounds each experiment the same way (the artifacts recorded so far are
+// still written). The report subcommand renders a markdown dashboard from
+// previously written artifacts.
 package main
 
 import (
@@ -22,17 +29,27 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/obs"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		if err := runReport(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	quick := flag.Bool("quick", false, "reduced sweeps (fewer apps/datasets/configs)")
 	metricsPath := flag.String("metrics", "", "write a metrics JSON artifact (counters + phase timers) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON artifact to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	expTimeout := flag.Duration("exp-timeout", 0, "abort any single experiment after this long (0 = no limit)")
 	flag.Parse()
 
 	// Accept flags after experiment names too (experiments table2 -metrics
@@ -78,27 +95,81 @@ func main() {
 		tracer = obs.NewTracer(nil, 0)
 	}
 
+	// Every experiment runs guarded: a panic or an -exp-timeout expiry marks
+	// that experiment failed, the rest of the suite still runs, the artifacts
+	// recorded so far are still written, and the command exits nonzero after
+	// a per-experiment summary — a half-written experiments_output.txt can no
+	// longer masquerade as a clean suite.
+	status := make(map[string]error, len(names))
+	failed := false
 	for _, a := range names {
 		var end func()
 		if reg != nil {
 			end = reg.StartPhase(a)
 		}
 		tracer.Emit(obs.CatPhase, a, 0, 0)
-		err := runOne(a, *quick, reg)
+		err := runGuarded(a, *quick, reg, *expTimeout)
 		if end != nil {
 			end()
 		}
+		status[a] = err
 		if err != nil {
+			failed = true
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a, err)
-			os.Exit(1)
 		}
 		fmt.Println()
 	}
 
 	if err := writeArtifacts(*metricsPath, *tracePath, reg, tracer); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		failed = true
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "experiments: suite FAILED:")
+		for _, a := range names {
+			if err := status[a]; err != nil {
+				fmt.Fprintf(os.Stderr, "  FAIL %s: %v\n", a, firstLine(err.Error()))
+			} else {
+				fmt.Fprintf(os.Stderr, "  ok   %s\n", a)
+			}
+		}
 		os.Exit(1)
 	}
+}
+
+// runGuarded executes one experiment with panic recovery and an optional
+// watchdog. On timeout the experiment's goroutine is abandoned (bench
+// functions are not cancellable mid-table) — acceptable for a process that
+// is about to report failure and exit.
+func runGuarded(name string, quick bool, reg *obs.Registry, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		done <- runOne(name, quick, reg)
+	}()
+	if timeout <= 0 {
+		return <-done
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("timed out after %v", timeout)
+	}
+}
+
+// firstLine truncates multi-line errors (panic stacks) for the summary.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " …"
+	}
+	return s
 }
 
 func writeArtifacts(metricsPath, tracePath string, reg *obs.Registry, tr *obs.Tracer) error {

@@ -9,6 +9,8 @@
 //	flexminer -app 5-CL -dataset Or -timeout 2s -stats
 //	flexminer -app 4-CL -dataset Lj -kernel merge -stats
 //	flexminer -app TC -dataset Mi -engine sim -metrics out.json -trace out.trace.json
+//	flexminer -app TC -dataset Mi -engine sim -timeseries out.ts.json -sample-window 4096
+//	flexminer serve -addr localhost:8080 -app TC -dataset Mi
 //
 // Either -graph (a file) or -dataset (a built-in Table I stand-in) selects
 // the input; either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
@@ -16,6 +18,10 @@
 // bounds the run: on expiry the partial counts and stats are printed and the
 // command exits nonzero. -kernel pins the CPU engine's set-kernel policy
 // (auto/merge/gallop/bitmap) for A/B runs; it never affects -engine sim.
+//
+// The serve subcommand keeps the process alive as an HTTP service exposing
+// /metrics (Prometheus text), /healthz, /debug/progress and /debug/pprof
+// while running the workload; see README "Serve mode".
 package main
 
 import (
@@ -52,12 +58,21 @@ type options struct {
 	timeout            time.Duration
 	showPlan, statsOut bool
 
-	metricsPath string
-	tracePath   string
-	pprofAddr   string
+	metricsPath    string
+	tracePath      string
+	timeseriesPath string
+	sampleWindow   int
+	pprofAddr      string
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "flexminer serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o options
 	flag.StringVar(&o.graphPath, "graph", "", "input graph file (edge list, or .bin CSR)")
 	flag.StringVar(&o.dataset, "dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
@@ -75,6 +90,8 @@ func main() {
 	flag.BoolVar(&o.statsOut, "stats", false, "print engine/simulator statistics")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write a metrics JSON artifact (counters + phase timers) to this file")
 	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON artifact to this file")
+	flag.StringVar(&o.timeseriesPath, "timeseries", "", "write a flexminer-timeseries/v1 JSON artifact to this file (requires -engine sim or both)")
+	flag.IntVar(&o.sampleWindow, "sample-window", 4096, "sim-cycle window between -timeseries samples")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -101,10 +118,17 @@ func run(o options) error {
 	if o.tracePath != "" {
 		tracer = obs.NewTracer(nil, 0)
 	}
+	var sampler *obs.Sampler
+	if o.timeseriesPath != "" {
+		if o.engine != "sim" && o.engine != "both" {
+			return fmt.Errorf("-timeseries samples on sim cycles; it requires -engine sim or both")
+		}
+		sampler = obs.NewSampler(int64(o.sampleWindow))
+	}
 	defer func() {
 		// Written in a defer so timeout partial-result paths still produce
 		// their artifacts.
-		if err := writeArtifacts(o, reg, tracer); err != nil {
+		if err := writeArtifacts(o, reg, tracer, sampler); err != nil {
 			fmt.Fprintln(os.Stderr, "flexminer:", err)
 		}
 	}()
@@ -178,6 +202,7 @@ func run(o options) error {
 			cfg.TaskSliceElems = o.slice
 		}
 		cfg.Trace = tracer
+		cfg.Sample = sampler
 		endSim := phase(reg, "simulate")
 		res, err := sim.SimulateContext(ctx, mineG, pl, cfg)
 		endSim()
@@ -228,9 +253,10 @@ func registerResult(reg *obs.Registry, prefix string, counts []int64, stats any)
 	obs.AddStats(reg, prefix, stats)
 }
 
-// writeArtifacts flushes the metrics and trace files requested on the command
-// line; the trace also gets a text digest on stdout when -stats is set.
-func writeArtifacts(o options, reg *obs.Registry, tr *obs.Tracer) error {
+// writeArtifacts flushes the metrics, trace and timeseries files requested on
+// the command line; the trace also gets a text digest on stdout when -stats
+// is set.
+func writeArtifacts(o options, reg *obs.Registry, tr *obs.Tracer, sp *obs.Sampler) error {
 	if reg != nil {
 		f, err := os.Create(o.metricsPath)
 		if err != nil {
@@ -260,6 +286,19 @@ func writeArtifacts(o options, reg *obs.Registry, tr *obs.Tracer) error {
 			if err := tr.WriteSummary(os.Stdout); err != nil {
 				return err
 			}
+		}
+	}
+	if sp.Enabled() {
+		f, err := os.Create(o.timeseriesPath)
+		if err != nil {
+			return err
+		}
+		if err := sp.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,113 @@
+package main
+
+// The serve subcommand: run workloads while exposing the observability spine
+// over HTTP (internal/serve). The process stays up after the mining passes
+// finish so /metrics can be scraped and /debug/pprof inspected, and shuts
+// down gracefully on SIGINT/SIGTERM.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// runServe implements `flexminer serve`: a long-lived process serving
+// /metrics (Prometheus text), /healthz, /debug/progress and /debug/pprof
+// while running the requested workload -runs times on the CPU engine.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("flexminer serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: flexminer serve -addr HOST:PORT (-graph FILE | -dataset NAME) (-app NAME | -pattern NAME) [flags]")
+		fs.PrintDefaults()
+	}
+	addr := fs.String("addr", "localhost:8080", "HTTP listen address")
+	graphPath := fs.String("graph", "", "input graph file (edge list, or .bin CSR)")
+	dataset := fs.String("dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
+	app := fs.String("app", "", "application: TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC")
+	patName := fs.String("pattern", "", "pattern name for edge-induced subgraph listing")
+	induced := fs.Bool("induced", false, "vertex-induced matching for -pattern")
+	threads := fs.Int("threads", runtime.GOMAXPROCS(0), "CPU engine threads")
+	kernelName := fs.String("kernel", "auto", "CPU set-kernel policy: auto, merge, gallop, bitmap")
+	slice := fs.Int("slice", 0, "hub-slicing task size in adjacency elements (0 auto, -1 off)")
+	runs := fs.Int("runs", 1, "mining passes to execute while serving (0 = serve endpoints only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %q", fs.Args())
+	}
+
+	reg := obs.NewRegistry(nil)
+	var prog serve.Progress
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Resolve the workload up front so flag mistakes fail fast, before a
+	// listener is bound.
+	var mine func(context.Context) error
+	if *runs > 0 {
+		g, err := loadInput(*graphPath, *dataset)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(*graphPath, *dataset), g))
+		pl, mineG, err := buildPlan(g, *app, *patName, *induced)
+		if err != nil {
+			return err
+		}
+		kernel, err := core.ParseKernelPolicy(*kernelName)
+		if err != nil {
+			return err
+		}
+		mine = func(ctx context.Context) error {
+			for r := 0; r < *runs; r++ {
+				eng, err := core.NewEngine(mineG, pl, core.Options{
+					Threads: *threads, SliceElems: *slice, Kernel: kernel,
+					SchedHooks: prog.Hooks(), OnTaskDone: prog.OnTaskDone,
+				})
+				if err != nil {
+					return err
+				}
+				prog.BeginRun(eng.TaskCount())
+				endMine := reg.StartPhase("mine")
+				res, err := eng.MineContext(ctx)
+				endMine()
+				prog.EndRun()
+				registerResult(reg, "cpu", res.Counts, &res.Stats)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("run %d/%d: %s\n", r+1, *runs, formatCounts(pl, res.Counts))
+			}
+			return nil
+		}
+	}
+
+	mux := serve.NewMux(reg, &prog, "flexminer")
+	if mine != nil {
+		go func() {
+			if err := mine(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "flexminer serve: workload:", err)
+			}
+		}()
+	}
+	err := serve.ListenAndServe(ctx, *addr, mux, func(bound string) {
+		fmt.Printf("serving http://%s/{metrics,healthz,debug/progress,debug/pprof} — ^C to stop\n", bound)
+	})
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}

@@ -85,6 +85,20 @@ type Options struct {
 	// virtual-clock timestamps) is schedule-dependent; byte-stable traces
 	// come from the simulator, whose coordinator serializes emission.
 	Trace *obs.Tracer
+
+	// SchedHooks observe the work-stealing scheduler (steals, task
+	// retirements) during the run — the live-progress feed of serve mode.
+	// Callbacks run on worker goroutines and are merged with (fire before)
+	// the tracer's own steal instrumentation; like tracing, they must not
+	// mutate engine state and never affect counts or stats.
+	SchedHooks sched.Hooks
+
+	// OnTaskDone, when non-nil, fires after every completed task with the
+	// worker index and the number of raw (pre-divisor) matches the task
+	// produced — the partial-count signal behind /debug/progress. It runs
+	// on worker goroutines; implementations must be cheap and
+	// concurrency-safe (atomics).
+	OnTaskDone func(worker int, matches int64)
 }
 
 func (o Options) withDefaults() Options {
@@ -201,6 +215,13 @@ func (e *Engine) sliceElems() int {
 	return autoSliceElems
 }
 
+// TaskCount reports how many scheduler tasks a Mine call will dispatch under
+// the engine's slicing policy — serve mode uses it to size the
+// /debug/progress denominator before the run starts.
+func (e *Engine) TaskCount() int {
+	return len(sched.Expand(e.g, e.sliceElems()))
+}
+
 // Mine runs the parallel DFS over all start vertices and returns per-pattern
 // counts. It is MineContext without cancellation.
 func (e *Engine) Mine() Result {
@@ -235,16 +256,35 @@ func (e *Engine) mine(ctx context.Context, visit Visitor) (Result, error) {
 		workers[t].ctxDone = ctx.Done()
 		workers[t].widx = t
 	}
-	var hooks sched.Hooks
+	hooks := e.o.SchedHooks
 	if tr := e.o.Trace; tr.Enabled() {
+		prev := hooks.OnSteal
 		hooks.OnSteal = func(thief, victim, ntasks int) {
+			if prev != nil {
+				prev(thief, victim, ntasks)
+			}
 			tr.Emit(obs.CatSched, "steal", thief, 0,
 				obs.Arg{Key: "victim", Val: int64(victim)},
 				obs.Arg{Key: "tasks", Val: int64(ntasks)})
 		}
 	}
+	onDone := e.o.OnTaskDone
 	err := sched.RunHooked(ctx, threads, tasks, func(t int, task sched.Task) bool {
-		return workers[t].runTask(task)
+		w := workers[t]
+		if onDone == nil {
+			return w.runTask(task)
+		}
+		var before int64
+		for _, c := range w.counts {
+			before += c
+		}
+		ok := w.runTask(task)
+		var after int64
+		for _, c := range w.counts {
+			after += c
+		}
+		onDone(t, after-before)
+		return ok
 	}, hooks)
 	total := Result{Counts: make([]int64, len(e.pl.Patterns))}
 	for _, w := range workers {

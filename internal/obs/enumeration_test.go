@@ -37,13 +37,23 @@ var coreStatsMetricNames = []string{
 }
 
 var simStatsMetricNames = []string{
+	// The cycle-accounting buckets (PR5). Per-channel slices and derived
+	// utilization floats live in Stats too but are deliberately absent here:
+	// AddStats exports only scalar ints, and the slices reach artifacts
+	// through the timeseries sampler instead.
+	"breakdown.c_map_probe", "breakdown.compute", "breakdown.dispatch_wait",
+	"breakdown.dram_stall", "breakdown.idle", "breakdown.l1_stall",
+	"breakdown.l2_stall",
 	"busy_cycles",
 	"c_map.hits", "c_map.inserts", "c_map.lookups",
 	"c_map.overflows", "c_map.probes", "c_map.removes",
 	"cycles",
 	"dram_accesses",
+	"dram_busy_cycles",
 	"extensions",
-	"l1_hits", "l1_misses", "l2_hits", "l2_misses",
+	"l1_hits", "l1_misses",
+	"l2_busy_cycles",
+	"l2_hits", "l2_misses",
 	"no_c_requests",
 	"sdu_iters",
 	"siu_iters",

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registry counter — and one duration sample
+// per closed phase — in the Prometheus text exposition format (version
+// 0.0.4), under the given namespace prefix. This is the /metrics surface of
+// serve mode: the exposition is a *view* of the one Registry every layer
+// already reports into, never a second counter system (DESIGN.md decision
+// 12), so a value visible on /metrics is by construction the value the JSON
+// artifact would export.
+//
+// Counter names map to metric names by prefixing the namespace and
+// sanitizing: dots (the registry's hierarchy separator) become underscores,
+// as does any other character outside [a-zA-Z0-9_]. Counters are emitted in
+// sorted order and phases in begin order, so the page is deterministic for
+// a deterministic instrumentation sequence.
+func (r *Registry) WritePrometheus(w io.Writer, namespace string) error {
+	if namespace == "" {
+		namespace = "flexminer"
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	phases := append([]Phase(nil), r.phases...)
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP %s registry counters (see flexminer-metrics/v1 for the JSON form)\n# TYPE %s untyped\n",
+			namespace, namespace); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s_%s %d\n", namespace, sanitizeMetricName(name), counters[name]); err != nil {
+			return err
+		}
+	}
+	if len(phases) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP %s_phase_duration_ticks closed phase-timer spans, clock units\n# TYPE %s_phase_duration_ticks gauge\n",
+			namespace, namespace); err != nil {
+			return err
+		}
+		for _, p := range phases {
+			if p.End < 0 {
+				continue // still open; duration unknown
+			}
+			if _, err := fmt.Fprintf(w, "%s_phase_duration_ticks{phase=%q} %d\n",
+				namespace, p.Name, p.Dur); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps a registry counter name onto the Prometheus metric
+// name charset: [a-zA-Z0-9_], everything else replaced by '_'.
+func sanitizeMetricName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

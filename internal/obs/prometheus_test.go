@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Add("sim.cycles", 100)
+	r.Add("sim.breakdown.c_map_probe", 40)
+	r.Add("cpu.count.0", 7)
+	end := r.StartPhase("mine")
+	end()
+	r.StartPhase("open-phase") // never closed: must not be exposed
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "flexminer"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Counters are emitted sorted and dot-sanitized under the namespace.
+	wantOrder := []string{
+		"flexminer_cpu_count_0 7",
+		"flexminer_sim_breakdown_c_map_probe 40",
+		"flexminer_sim_cycles 100",
+		`flexminer_phase_duration_ticks{phase="mine"}`,
+	}
+	pos := -1
+	for _, want := range wantOrder {
+		i := strings.Index(out, want)
+		if i < 0 {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+		if i < pos {
+			t.Errorf("%q out of order in:\n%s", want, out)
+		}
+		pos = i
+	}
+	if strings.Contains(out, "open-phase") {
+		t.Errorf("open phase exposed:\n%s", out)
+	}
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2, "flexminer"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestWritePrometheusDefaultNamespace(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Add("x", 1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flexminer_x 1") {
+		t.Errorf("default namespace not applied:\n%s", buf.String())
+	}
+}
+
+func TestWritePrometheusEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry(nil).WritePrometheus(&buf, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty registry rendered %q", buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"sim.c_map.hits":      "sim_c_map_hits",
+		"fig14.TC.As.size.64": "fig14_TC_As_size_64",
+		"weird-name/σ":        "weird_name__",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// failWriter errors after n bytes, exercising the exposition's error paths.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWritePrometheusPropagatesWriteErrors(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Add("a", 1)
+	end := r.StartPhase("p")
+	end()
+	for _, budget := range []int{0, 60, 120} {
+		if err := r.WritePrometheus(&failWriter{n: budget}, "ns"); err == nil {
+			t.Errorf("budget %d: write error swallowed", budget)
+		}
+	}
+}

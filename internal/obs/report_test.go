@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadMetricsJSONRoundTrip(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Add("sim.cycles", 123)
+	end := r.StartPhase("mine")
+	end()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMetricsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Schema != MetricsSchema || m.Counters["sim.cycles"] != 123 || len(m.Phases) != 1 {
+		t.Errorf("round trip lost data: %+v", m)
+	}
+}
+
+func TestReadMetricsJSONRejectsSchema(t *testing.T) {
+	if _, err := ReadMetricsJSON(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := ReadMetricsJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed document accepted")
+	}
+}
+
+func reportFixture() (*Metrics, *Timeseries) {
+	m := &Metrics{
+		Schema: MetricsSchema,
+		Counters: map[string]int64{
+			"sim.breakdown.compute":    30,
+			"sim.breakdown.dram_stall": 60,
+			"sim.breakdown.idle":       10,
+			"sim.cycles":               100,
+			"cpu.count.0":              7,
+		},
+		Phases: []Phase{
+			{Name: "load", Start: 0, End: 2, Dur: 2},
+			{Name: "mine", Start: 2, End: 10, Dur: 8},
+			{Name: "open", Start: 10, End: -1},
+		},
+	}
+	ts := &Timeseries{
+		Schema: TimeseriesSchema,
+		Window: 50,
+		Samples: []Sample{
+			{T: 50, Values: map[string]int64{"dram_accesses": 5}},
+			{T: 100, Values: map[string]int64{"dram_accesses": 30}},
+		},
+	}
+	return m, ts
+}
+
+func TestRenderReport(t *testing.T) {
+	m, ts := reportFixture()
+	var buf bytes.Buffer
+	if err := RenderReport(&buf, m, ts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# FlexMiner run report",
+		"| load | 2 | 20.0% |",
+		"| mine | 8 | 80.0% |",
+		"| open | (open) | |",
+		"## Cycle breakdown: sim",
+		"| compute | 30 | 30.0% |",
+		"| dram_stall | 60 | 60.0% |",
+		"| **total** | **100** | 100.0% |",
+		"## Counters: cpu",
+		"| cpu.count.0 | 7 |",
+		"## Counters: sim",
+		"| sim.cycles | 100 |",
+		"## Time series",
+		"2 samples over 100 cycles (window 50).",
+		"| dram_accesses | 30 | 25 |", // final 30, peak window delta 30-5=25
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q in:\n%s", want, out)
+		}
+	}
+	// Breakdown counters must not be duplicated in the plain counter tables.
+	if strings.Contains(out, "| sim.breakdown.compute |") {
+		t.Errorf("breakdown counter leaked into the counter inventory:\n%s", out)
+	}
+}
+
+func TestRenderReportWithoutTimeseries(t *testing.T) {
+	m, _ := reportFixture()
+	var buf bytes.Buffer
+	if err := RenderReport(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "## Time series") {
+		t.Error("time-series section rendered with no data")
+	}
+}
+
+func TestRenderReportZeroTotals(t *testing.T) {
+	m := &Metrics{
+		Schema:   MetricsSchema,
+		Counters: map[string]int64{"sim.breakdown.compute": 0},
+		Phases:   []Phase{{Name: "p", Start: 0, End: 0, Dur: 0}},
+	}
+	var buf bytes.Buffer
+	if err := RenderReport(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "—") {
+		t.Errorf("zero totals should render the em-dash placeholder:\n%s", buf.String())
+	}
+}
+
+func TestRenderReportPropagatesWriteErrors(t *testing.T) {
+	m, ts := reportFixture()
+	if err := RenderReport(&failWriter{n: 0}, m, ts); err == nil {
+		t.Error("write error swallowed")
+	}
+}

@@ -15,6 +15,11 @@ type Hooks struct {
 	// OnSteal fires after a successful steal: thief took ntasks tasks from
 	// victim's deque (both are worker indices).
 	OnSteal func(thief, victim, ntasks int)
+
+	// OnTask fires after fn returns for a task — the task was executed
+	// (possibly partially, when cancellation latched mid-task). This is the
+	// live-progress feed of serve mode's /debug/progress endpoint.
+	OnTask func(worker int, t Task)
 }
 
 // Run executes every task at most once across workers goroutines using
@@ -90,7 +95,11 @@ func RunHooked(ctx context.Context, workers int, tasks []Task, fn func(worker in
 					continue
 				}
 				unclaimed.Add(-1)
-				if !fn(w, t) {
+				ok = fn(w, t)
+				if h.OnTask != nil {
+					h.OnTask(w, t)
+				}
+				if !ok {
 					stopped.Store(true)
 					return
 				}

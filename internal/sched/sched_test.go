@@ -160,3 +160,53 @@ func TestRunStopsWhenFnReturnsFalse(t *testing.T) {
 		t.Fatalf("fn=false did not halt the run (%d/%d)", n, len(tasks))
 	}
 }
+
+func TestRunHookedOnTaskFiresPerExecution(t *testing.T) {
+	g := graph.ChungLu(300, 2400, 2.3, 9)
+	tasks := Expand(g, 16)
+	OrderByDegreeDesc(g, tasks)
+	var executed, observed atomic.Int64
+	seen := make([]atomic.Int32, len(tasks))
+	index := map[Task]int{}
+	for i, task := range tasks {
+		index[task] = i
+	}
+	h := Hooks{OnTask: func(w int, task Task) {
+		observed.Add(1)
+		seen[index[task]].Add(1)
+	}}
+	err := RunHooked(context.Background(), 8, tasks, func(w int, task Task) bool {
+		executed.Add(1)
+		return true
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Load() != executed.Load() || observed.Load() != int64(len(tasks)) {
+		t.Fatalf("OnTask fired %d times for %d executions of %d tasks",
+			observed.Load(), executed.Load(), len(tasks))
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("task %d observed %d times", i, n)
+		}
+	}
+}
+
+func TestRunHookedOnTaskFiresForHaltingTask(t *testing.T) {
+	// The task whose fn returns false was still executed (partially), so the
+	// live-progress feed must count it — OnTask fires before the halt.
+	g := graph.ChungLu(300, 2400, 2.3, 9)
+	tasks := Expand(g, 0)
+	var executed, observed atomic.Int64
+	h := Hooks{OnTask: func(int, Task) { observed.Add(1) }}
+	err := RunHooked(context.Background(), 1, tasks, func(int, Task) bool {
+		return executed.Add(1) < 5
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Load() != executed.Load() {
+		t.Fatalf("OnTask fired %d times for %d executions", observed.Load(), executed.Load())
+	}
+}

@@ -1,0 +1,170 @@
+// Package serve is the live observation surface of the system: an HTTP
+// server exposing the obs.Registry in Prometheus text format (/metrics), a
+// liveness probe (/healthz), a live mining-progress snapshot fed by
+// scheduler hooks (/debug/progress), and the standard net/http/pprof
+// endpoints — the serving half of the ROADMAP's production-service goal.
+// Everything rendered here is a view over the observability spine
+// (internal/obs) and the scheduler's hook stream (internal/sched); the
+// server introduces no counters of its own (DESIGN.md decision 12).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// Progress is a race-free live view of a mining run, updated from scheduler
+// hooks on worker goroutines and read by the /debug/progress handler. The
+// zero value is ready to use.
+type Progress struct {
+	tasksDone atomic.Int64
+	steals    atomic.Int64
+	stolen    atomic.Int64 // tasks moved by steals
+	matches   atomic.Int64 // raw (pre-divisor) matches found so far
+	tasks     atomic.Int64 // total tasks of the current run
+	runs      atomic.Int64 // completed engine runs
+	running   atomic.Bool
+}
+
+// Hooks returns the scheduler hooks that feed p — wire them into
+// core.Options.SchedHooks.
+func (p *Progress) Hooks() sched.Hooks {
+	return sched.Hooks{
+		OnSteal: func(thief, victim, ntasks int) {
+			p.steals.Add(1)
+			p.stolen.Add(int64(ntasks))
+		},
+		OnTask: func(worker int, t sched.Task) {
+			p.tasksDone.Add(1)
+		},
+	}
+}
+
+// OnTaskDone is the core.Options.OnTaskDone callback accumulating partial
+// match counts.
+func (p *Progress) OnTaskDone(worker int, matches int64) {
+	p.matches.Add(matches)
+}
+
+// BeginRun marks a run of total tasks as in flight.
+func (p *Progress) BeginRun(totalTasks int) {
+	p.tasks.Store(int64(totalTasks))
+	p.running.Store(true)
+}
+
+// EndRun marks the current run finished.
+func (p *Progress) EndRun() {
+	p.running.Store(false)
+	p.runs.Add(1)
+}
+
+// Snapshot is the JSON document served on /debug/progress.
+type Snapshot struct {
+	Running        bool  `json:"running"`
+	Tasks          int64 `json:"tasks"`
+	TasksDone      int64 `json:"tasks_done"`
+	Steals         int64 `json:"steals"`
+	TasksStolen    int64 `json:"tasks_stolen"`
+	PartialMatches int64 `json:"partial_matches"` // raw, before symmetry divisors
+	RunsCompleted  int64 `json:"runs_completed"`
+}
+
+// Snapshot returns a consistent-enough point-in-time view (each field is
+// individually atomic; the run advances between loads, which is the nature
+// of a live endpoint).
+func (p *Progress) Snapshot() Snapshot {
+	return Snapshot{
+		Running:        p.running.Load(),
+		Tasks:          p.tasks.Load(),
+		TasksDone:      p.tasksDone.Load(),
+		Steals:         p.steals.Load(),
+		TasksStolen:    p.stolen.Load(),
+		PartialMatches: p.matches.Load(),
+		RunsCompleted:  p.runs.Load(),
+	}
+}
+
+// NewMux builds the serving surface over a registry and a progress tracker
+// (either may be nil; the corresponding endpoint then serves an empty
+// document):
+//
+//	/metrics         Prometheus text exposition of every registry counter
+//	/healthz         liveness: always "ok"
+//	/debug/progress  live task/steal/partial-count snapshot (JSON)
+//	/debug/pprof/    the standard net/http/pprof endpoints
+func NewMux(reg *obs.Registry, prog *Progress, namespace string) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg == nil {
+			return
+		}
+		if err := reg.WritePrometheus(w, namespace); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap Snapshot
+		if prog != nil {
+			snap = prog.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before forcing connections closed.
+const shutdownGrace = 5 * time.Second
+
+// ListenAndServe serves handler on addr until ctx is cancelled (the SIGINT
+// path in the CLI), then shuts down gracefully. onReady, when non-nil, is
+// invoked with the bound address once the listener is accepting — the hook
+// tests and callers use to learn the port when addr ends in ":0".
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, onReady func(boundAddr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler}
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	return nil
+}

@@ -1,0 +1,199 @@
+package serve
+
+// httptest smoke for the serving surface, exercised concurrently with a
+// real engine run so the -race CI step covers the hook path: scheduler
+// workers write the Progress atomics while HTTP handlers read them.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/sched"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeSmoke(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	reg.Add("cpu.tasks", 42)
+	reg.Add("sim.breakdown.compute", 1000)
+	end := reg.StartPhase("mine")
+	end()
+	var prog Progress
+	srv := httptest.NewServer(NewMux(reg, &prog, "flexminer"))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"flexminer_cpu_tasks 42",
+		"flexminer_sim_breakdown_compute 1000",
+		`flexminer_phase_duration_ticks{phase="mine"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/debug/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/progress: status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/progress not JSON: %v\n%s", err, body)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", code)
+	}
+}
+
+// TestServeProgressDuringRun drives a real parallel mine with the Progress
+// hooks wired while hammering /debug/progress — the race detector proves
+// the hook path is sound, and the final snapshot must agree with the run.
+func TestServeProgressDuringRun(t *testing.T) {
+	g := graph.ChungLu(600, 4800, 2.3, 9)
+	pl, err := plan.Compile(pattern.Diamond(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog Progress
+	srv := httptest.NewServer(NewMux(obs.NewRegistry(nil), &prog, "flexminer"))
+	defer srv.Close()
+
+	tasks := sched.Expand(g, 16)
+	prog.BeginRun(len(tasks))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				get(t, srv, "/debug/progress")
+				get(t, srv, "/metrics")
+			}
+		}
+	}()
+	res, err := core.Mine(g, pl, core.Options{
+		Threads:    4,
+		SliceElems: 16,
+		SchedHooks: prog.Hooks(),
+		OnTaskDone: prog.OnTaskDone,
+	})
+	prog.EndRun()
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := prog.Snapshot()
+	if snap.Running {
+		t.Error("snapshot still running after EndRun")
+	}
+	if snap.TasksDone != int64(len(tasks)) {
+		t.Errorf("tasks_done=%d, want %d", snap.TasksDone, len(tasks))
+	}
+	if snap.TasksDone != res.Stats.Tasks {
+		t.Errorf("tasks_done=%d disagrees with Stats.Tasks=%d", snap.TasksDone, res.Stats.Tasks)
+	}
+	// PartialMatches is pre-divisor: counts × the plan's symmetry divisor.
+	if want := res.Counts[0] * pl.CountDivisor[0]; snap.PartialMatches != want {
+		t.Errorf("partial_matches=%d, want %d (count %d × divisor %d)",
+			snap.PartialMatches, want, res.Counts[0], pl.CountDivisor[0])
+	}
+	if snap.RunsCompleted != 1 {
+		t.Errorf("runs_completed=%d, want 1", snap.RunsCompleted)
+	}
+}
+
+// TestProgressHooksAreInert: wiring progress observation must not change
+// counts or stats (the serve-mode half of the observers-never-perturb
+// contract).
+func TestProgressHooksAreInert(t *testing.T) {
+	g := graph.ChungLu(600, 4800, 2.3, 9)
+	pl, err := plan.Compile(pattern.Diamond(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Mine(g, pl, core.Options{Threads: 4, SliceElems: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog Progress
+	hooked, err := core.Mine(g, pl, core.Options{
+		Threads: 4, SliceElems: 16,
+		SchedHooks: prog.Hooks(), OnTaskDone: prog.OnTaskDone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked.Count() != plain.Count() || hooked.Stats != plain.Stats {
+		t.Errorf("progress hooks changed the run:\nhooked %+v\nplain  %+v", hooked.Stats, plain.Stats)
+	}
+}
+
+func TestListenAndServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- ListenAndServe(ctx, "127.0.0.1:0", NewMux(nil, nil, ""), func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+}

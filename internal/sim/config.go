@@ -79,6 +79,15 @@ type Config struct {
 	// and because the coordinator serializes PE execution the emission
 	// sequence — hence the exported trace — is deterministic.
 	Trace *obs.Tracer
+
+	// Sample, when non-nil, receives fixed-window snapshots of cumulative
+	// activity counters (PE occupancy, SIU/SDU iterations, c-map hit
+	// totals, per-channel DRAM busy, NoC requests), timestamped in global
+	// simulated cycles. The coordinator drives it in event order, so the
+	// recorded series is deterministic, and sampling only reads simulator
+	// state — cycle counts are invariant under it (tested alongside the
+	// tracing invariance).
+	Sample *obs.Sampler
 }
 
 // DefaultConfig mirrors the paper's evaluation setup (§VII-A): 1.3 GHz PEs,

@@ -104,23 +104,45 @@ func newMemSystem(cfg Config) *memSystem {
 }
 
 // line fetches one line (by address) for a request issued at time t,
-// returning the completion time.
-func (m *memSystem) line(addr uint64, t int64) int64 {
+// returning the completion time and whether the line missed the L2 and was
+// served by a DRAM channel (the stall-attribution signal for Breakdown).
+func (m *memSystem) line(addr uint64, t int64) (done int64, fromDRAM bool) {
 	m.nocReqs++
 	arrive := t + int64(m.cfg.NoCLatency)
 	bank := int(addr / m.lineBytes % uint64(len(m.l2Banks)))
 	grant := m.l2Banks[bank].reserve(arrive, int64(m.cfg.L2ServiceCycles))
-	done := grant + int64(m.cfg.L2Latency)
+	done = grant + int64(m.cfg.L2Latency)
 	if m.l2.access(addr) {
 		m.l2Hits++
 	} else {
 		m.l2Misses++
 		m.dramReqs++
+		fromDRAM = true
 		ch := int(addr / m.lineBytes / 8 % uint64(len(m.dram)))
 		dgrant := m.dram[ch].reserve(done, int64(m.cfg.DRAMServiceCycles))
 		done = dgrant + int64(m.cfg.DRAMLatency)
 	}
-	return done + int64(m.cfg.NoCLatency)
+	return done + int64(m.cfg.NoCLatency), fromDRAM
+}
+
+// dramBusy returns the per-channel occupied cycles of the reservation
+// cursors.
+func (m *memSystem) dramBusy() []int64 {
+	out := make([]int64, len(m.dram))
+	for i := range m.dram {
+		out[i] = m.dram[i].busy
+	}
+	return out
+}
+
+// l2BankBusy returns the per-bank occupied cycles of the L2 reservation
+// cursors.
+func (m *memSystem) l2BankBusy() []int64 {
+	out := make([]int64, len(m.l2Banks))
+	for i := range m.l2Banks {
+		out[i] = m.l2Banks[i].busy
+	}
+	return out
 }
 
 // Address map: the simulator lays the CSR arrays out in a flat physical

@@ -23,6 +23,14 @@ type pe struct {
 	busy  int64 // cycles doing useful work
 	stall int64 // cycles waiting for memory
 
+	// bkt attributes every clock advance to one Breakdown bucket (Idle is
+	// filled in by collect, from the retirement-to-makespan gap). lineDRAM
+	// is set by the coordinator before answering an evNeedLine request and
+	// tells the stall accounting whether the line came from DRAM or the L2;
+	// the write happens-before the reply-channel receive, so it is race-free.
+	bkt      Breakdown
+	lineDRAM bool
+
 	l1       *cache
 	l1Hits   int64
 	l1Misses int64
@@ -46,6 +54,10 @@ type pe struct {
 	sduIters int64
 	tasks    int64
 	extends  int64
+
+	// retired flips once the scheduler runs dry and the PE sends evDone;
+	// the coordinator reads it for the pes_active time-series value.
+	retired bool
 }
 
 func newPE(id int, s *simulator) *pe {
@@ -72,10 +84,32 @@ func newPE(id int, s *simulator) *pe {
 	return p
 }
 
-// tick charges n busy cycles.
+// tick charges n busy cycles of algorithmic work (the Compute bucket).
 func (p *pe) tick(n int64) {
 	p.clock += n
 	p.busy += n
+	p.bkt.Compute += n
+}
+
+// tickCMap charges n busy cycles of c-map scratchpad activity.
+func (p *pe) tickCMap(n int64) {
+	p.clock += n
+	p.busy += n
+	p.bkt.CMapProbe += n
+}
+
+// tickL1 charges n busy cycles of private-cache access latency.
+func (p *pe) tickL1(n int64) {
+	p.clock += n
+	p.busy += n
+	p.bkt.L1Stall += n
+}
+
+// tickSched charges n busy cycles of scheduler hand-off.
+func (p *pe) tickSched(n int64) {
+	p.clock += n
+	p.busy += n
+	p.bkt.DispatchWait += n
 }
 
 // readRange streams [addr, addr+bytes) through the private cache; misses go
@@ -91,7 +125,7 @@ func (p *pe) readRange(addr uint64, bytes int64) {
 	for l := first; l <= last; l++ {
 		if p.l1.access(l * line) {
 			p.l1Hits++
-			p.tick(int64(p.sim.cfg.L1Latency))
+			p.tickL1(int64(p.sim.cfg.L1Latency))
 			continue
 		}
 		p.l1Misses++
@@ -113,7 +147,7 @@ func (p *pe) touchLocal(addr uint64, bytes int64, spillable bool) {
 	for l := first; l <= last; l++ {
 		if p.l1.access(l * line) {
 			p.l1Hits++
-			p.tick(int64(p.sim.cfg.L1Latency))
+			p.tickL1(int64(p.sim.cfg.L1Latency))
 			continue
 		}
 		p.l1Misses++
@@ -122,7 +156,7 @@ func (p *pe) touchLocal(addr uint64, bytes int64, spillable bool) {
 			// to the shared cache when evicted from the private cache").
 			p.memLine(l * line)
 		} else {
-			p.tick(int64(p.sim.cfg.L1Latency))
+			p.tickL1(int64(p.sim.cfg.L1Latency))
 		}
 	}
 }
@@ -150,7 +184,7 @@ func (p *pe) readAdjPrefix(v graph.VID, bound graph.VID) []graph.VID {
 func (p *pe) runTask(t sched.Task) {
 	start := p.clock
 	p.tasks++
-	p.tick(int64(p.sim.cfg.SchedLatency))
+	p.tickSched(int64(p.sim.cfg.SchedLatency))
 	root := p.sim.pl.Root
 	p.emb[0] = t.V0
 	p.sliceLo, p.sliceHi = t.Lo, t.Hi
@@ -219,7 +253,7 @@ func (p *pe) cmapInsert(op plan.VertexOp, depth int, v graph.VID) bool {
 		p.readRange(p.sim.am.colAddr(p.sim.g.AdjStart(v)), int64(len(prefix))*4)
 		p.chargeCMap(before, after)
 	} else {
-		p.tick(1) // occupancy estimate rejected the insertion
+		p.tickCMap(1) // occupancy estimate rejected the insertion
 	}
 	return ok
 }
@@ -245,7 +279,7 @@ func (p *pe) chargeCMap(before, after cmap.Stats) {
 	if extra < 0 {
 		extra = 0
 	}
-	p.tick(accesses + extra)
+	p.tickCMap(accesses + extra)
 }
 
 // bound mirrors core.worker.bound.

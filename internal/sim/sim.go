@@ -45,6 +45,24 @@ type Stats struct {
 	BusyCycles  int64
 	StallCycles int64
 	Utilization float64 // busy / (PEs × makespan)
+
+	// Breakdown attributes every one of the PEs × makespan cycles to
+	// exactly one bucket (compute, c-map, L1/L2/DRAM stall, dispatch,
+	// idle); the sum invariant is checked on every Simulate return.
+	Breakdown Breakdown
+
+	// Shared-resource occupancy, exported from the reservation cursors
+	// (resource.busy): total occupied cycles plus derived utilization over
+	// the makespan. The per-channel / per-bank detail rides in the slices,
+	// which obs.AddStats deliberately skips — the scalar totals are the
+	// machine-invariant exports, and the timeseries artifact carries the
+	// per-channel series.
+	DRAMBusyCycles  int64
+	L2BusyCycles    int64
+	DRAMChannelBusy []int64
+	L2BankBusy      []int64
+	DRAMUtilization float64 // DRAMBusyCycles / (channels × makespan)
+	L2Utilization   float64 // L2BusyCycles / (banks × makespan)
 }
 
 // Result carries per-pattern counts (identical to the CPU engine's, by
@@ -138,7 +156,15 @@ func SimulateContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, cfg Con
 		s.pes[i] = newPE(i, s)
 	}
 	s.run()
-	return s.collect(), ctx.Err()
+	res := s.collect()
+	// The accounting invariant is a hard postcondition: every cycle of
+	// every PE lands in exactly one Breakdown bucket. A violation is an
+	// internal charging bug, surfaced rather than silently reported as a
+	// skewed attribution.
+	if err := res.Stats.Breakdown.CheckTotal(len(s.pes), res.Stats.Cycles); err != nil {
+		return res, err
+	}
+	return res, ctx.Err()
 }
 
 // cancelled reports whether the run context has fired.
@@ -168,6 +194,16 @@ func (s *simulator) run() {
 	live := len(s.pes)
 	for live > 0 {
 		ev := heap.Pop(&pq).(event)
+		// Sampling rides the global event order: before the earliest pending
+		// event executes, snapshot every window boundary it crosses. All
+		// live PEs are blocked on their reply channels here, so reading
+		// their counters is race-free, and sampling only reads — cycle
+		// counts are provably invariant under it.
+		if sp := s.cfg.Sample; sp.Enabled() {
+			for sp.Due(ev.t) {
+				sp.Record(s.snapshot())
+			}
+		}
 		switch ev.kind {
 		case evDone:
 			live--
@@ -185,7 +221,9 @@ func (s *simulator) run() {
 				ev.pe.reply <- -1
 			}
 		case evNeedLine:
-			ev.pe.reply <- s.mem.line(ev.addr, ev.t)
+			done, fromDRAM := s.mem.line(ev.addr, ev.t)
+			ev.pe.lineDRAM = fromDRAM
+			ev.pe.reply <- done
 		}
 		// The resumed PE runs until its next shared event; no other PE is
 		// runnable meanwhile, so this receive is race-free.
@@ -207,6 +245,7 @@ func (p *pe) loop() {
 			if tr := p.sim.cfg.Trace; tr.Enabled() {
 				tr.EmitAt(obs.CatSimPE, "retire", p.id, p.clock, 0)
 			}
+			p.retired = true
 			p.sim.evCh <- event{pe: p, kind: evDone, t: p.clock}
 			return
 		}
@@ -215,11 +254,19 @@ func (p *pe) loop() {
 }
 
 // memLine blocks the PE until the line containing addr arrives from the
-// shared side, advancing its clock to the completion time.
+// shared side, advancing its clock to the completion time. The stall is
+// attributed to the L2 or DRAM bucket according to where the line was
+// served (lineDRAM, set by the coordinator before the reply).
 func (p *pe) memLine(addr uint64) {
 	done := p.await(evNeedLine, addr)
 	if done > p.clock {
-		p.stall += done - p.clock
+		d := done - p.clock
+		p.stall += d
+		if p.lineDRAM {
+			p.bkt.DRAMStall += d
+		} else {
+			p.bkt.L2Stall += d
+		}
 		p.clock = done
 	}
 }
@@ -253,11 +300,76 @@ func (s *simulator) collect() Result {
 	st.DRAMAccesses = s.mem.dramReqs
 	st.L2Hits = s.mem.l2Hits
 	st.L2Misses = s.mem.l2Misses
+	st.DRAMChannelBusy = s.mem.dramBusy()
+	st.L2BankBusy = s.mem.l2BankBusy()
+	for _, b := range st.DRAMChannelBusy {
+		st.DRAMBusyCycles += b
+	}
+	for _, b := range st.L2BankBusy {
+		st.L2BusyCycles += b
+	}
+	// Second PE pass for the breakdown: Idle is the retirement-to-makespan
+	// gap, which needs the final makespan from the first pass.
+	for _, p := range s.pes {
+		st.Breakdown.Add(p.bkt)
+		st.Breakdown.Idle += st.Cycles - p.clock
+	}
 	st.Seconds = float64(st.Cycles) / (s.cfg.FreqGHz * 1e9)
 	if st.Cycles > 0 {
 		st.Utilization = float64(st.BusyCycles) / (float64(st.Cycles) * float64(len(s.pes)))
+		st.DRAMUtilization = float64(st.DRAMBusyCycles) / (float64(st.Cycles) * float64(len(s.mem.dram)))
+		st.L2Utilization = float64(st.L2BusyCycles) / (float64(st.Cycles) * float64(len(s.mem.l2Banks)))
+	}
+	// Terminal sampler flush: one last snapshot at the makespan so the
+	// series always ends on the run's final totals.
+	if sp := s.cfg.Sample; sp.Enabled() {
+		sp.RecordFinal(st.Cycles, s.snapshot())
 	}
 	return res
+}
+
+// snapshot captures the simulator's cumulative activity counters for one
+// time-series sample. It only reads state: every live PE is parked on its
+// reply channel when the coordinator calls this, and the memory-side
+// cursors belong to the coordinator itself.
+func (s *simulator) snapshot() map[string]int64 {
+	vals := map[string]int64{
+		"tasks_dispatched": int64(s.nextTask),
+		"noc_requests":     s.mem.nocReqs,
+		"dram_accesses":    s.mem.dramReqs,
+		"l2_hits":          s.mem.l2Hits,
+		"l2_misses":        s.mem.l2Misses,
+	}
+	var busy, stall, active, siu, sdu int64
+	var cm cmap.Stats
+	for _, p := range s.pes {
+		busy += p.busy
+		stall += p.stall
+		if !p.retired {
+			active++
+		}
+		siu += p.siuIters
+		sdu += p.sduIters
+		if p.cm != nil {
+			cm.Add(p.cm.Stats())
+		}
+	}
+	vals["pe_busy_cycles"] = busy
+	vals["pe_stall_cycles"] = stall
+	vals["pes_active"] = active
+	vals["siu_iters"] = siu
+	vals["sdu_iters"] = sdu
+	vals["c_map_lookups"] = cm.Lookups
+	vals["c_map_hits"] = cm.Hits
+	var l2busy int64
+	for _, b := range s.mem.l2BankBusy() {
+		l2busy += b
+	}
+	vals["l2_busy_cycles"] = l2busy
+	for ch, b := range s.mem.dramBusy() {
+		vals[fmt.Sprintf("dram_busy_cycles.%d", ch)] = b
+	}
+	return vals
 }
 
 // eventHeap orders pending events by (time, PE id) for determinism.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -125,7 +126,7 @@ func TestSimulatorDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Stats != b.Stats {
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
 		t.Errorf("nondeterministic stats:\n%+v\n%+v", a.Stats, b.Stats)
 	}
 }

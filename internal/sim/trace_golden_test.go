@@ -78,9 +78,14 @@ func checkGolden(t *testing.T, path string, got []byte) {
 }
 
 func TestSimTraceGolden(t *testing.T) {
-	tr, _ := runTraced(t)
+	tr, res := runTraced(t)
 	if d := tr.Dropped(); d != 0 {
 		t.Fatalf("trace ring dropped %d events; raise the test capacity", d)
+	}
+	// The golden run also carries the cycle-accounting postcondition: the
+	// breakdown buckets of the pinned workload sum to PEs × makespan.
+	if err := res.Stats.Breakdown.CheckTotal(4, res.Stats.Cycles); err != nil {
+		t.Error(err)
 	}
 	cats := tr.Categories()
 	want := map[string]bool{obs.CatSched: false, obs.CatKernel: false, obs.CatSimPE: false}

@@ -16,8 +16,15 @@ fail=0
 while read -r pkg floor _; do
     case "$pkg" in '' | \#*) continue ;; esac
     profile="$coverdir/$(echo "$pkg" | tr / _).cover.out"
-    out=$(go test -coverprofile="$profile" "$pkg" | tail -n 1)
-    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    # Capture the full run so a failing package reports its tail instead of
+    # aborting the whole ratchet via set -e with no context.
+    if ! out=$(go test -coverprofile="$profile" "$pkg" 2>&1); then
+        echo "FAIL $pkg: go test failed:" >&2
+        echo "$out" | tail -n 5 >&2
+        fail=1
+        continue
+    fi
+    pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | tail -n 1)
     if [ -z "$pct" ]; then
         echo "FAIL $pkg: could not parse coverage from: $out" >&2
         fail=1
