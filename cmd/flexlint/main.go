@@ -11,11 +11,12 @@
 //
 // The analyzers and the invariants they guard:
 //
-//	detlint   — determinism of the cycle model (sim, cmap, plan)
+//	detlint   — determinism of the cycle model (sim, cmap, plan, graph)
 //	statsum   — Stats Add/Merge methods aggregate every numeric field
 //	kernelpin — paper-figure runners pin Kernel: KernelMergeOnly
 //	lockcheck — no copied mutexes / non-deferred Unlock (graph, sched)
 //	boundarg  — no constant bound where a variable bound is in scope
+//	adjwrite  — no writes into Adj results (read-only views; mmap faults)
 package main
 
 import (

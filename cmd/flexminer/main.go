@@ -10,10 +10,14 @@
 //	flexminer -app 4-CL -dataset Lj -kernel merge -stats
 //	flexminer -app TC -dataset Mi -engine sim -metrics out.json -trace out.trace.json
 //	flexminer -app TC -dataset Mi -engine sim -timeseries out.ts.json -sample-window 4096
+//	flexminer -app 3-MC -graph big.bin -mmap
+//	flexminer -pattern triangle -graph shards/
 //	flexminer serve -addr localhost:8080 -app TC -dataset Mi
 //
-// Either -graph (a file) or -dataset (a built-in Table I stand-in) selects
-// the input; either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
+// Either -graph (a file, or a sharded store directory written by gengraph
+// -shards) or -dataset (a built-in Table I stand-in) selects the input; with
+// -mmap a binary CSR file is memory-mapped zero-copy instead of loaded onto
+// the heap (see README "Large graphs"); either -app (TC, k-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC) or
 // -pattern (catalog name, edge-induced SL) selects the workload. -timeout
 // bounds the run: on expiry the partial counts and stats are printed and the
 // command exits nonzero. -kernel pins the CPU engine's set-kernel policy
@@ -47,6 +51,7 @@ import (
 // options carries every CLI knob through run.
 type options struct {
 	graphPath, dataset string
+	useMmap            bool
 	app, patName       string
 	induced            bool
 	engine             string
@@ -76,6 +81,7 @@ func main() {
 	var o options
 	flag.StringVar(&o.graphPath, "graph", "", "input graph file (edge list, or .bin CSR)")
 	flag.StringVar(&o.dataset, "dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
+	flag.BoolVar(&o.useMmap, "mmap", false, "memory-map the -graph .bin file zero-copy instead of loading it onto the heap")
 	flag.StringVar(&o.app, "app", "", "application: TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC")
 	flag.StringVar(&o.patName, "pattern", "", "pattern name for edge-induced subgraph listing")
 	flag.BoolVar(&o.induced, "induced", false, "vertex-induced matching for -pattern")
@@ -134,11 +140,12 @@ func run(o options) error {
 	}()
 
 	endLoad := phase(reg, "load")
-	g, err := loadInput(o.graphPath, o.dataset)
+	g, closeG, err := loadInput(o.graphPath, o.dataset, o.useMmap)
 	endLoad()
 	if err != nil {
 		return err
 	}
+	defer closeG()
 	fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(o.graphPath, o.dataset), g))
 
 	endPlan := phase(reg, "plan")
@@ -197,6 +204,10 @@ func run(o options) error {
 		}
 	}
 	if runSim {
+		simG, ok := mineG.(*graph.Graph)
+		if !ok {
+			return fmt.Errorf("-engine sim runs on an in-heap graph; mapped and sharded stores are CPU-engine-only (drop -mmap, or point -graph at the original file)")
+		}
 		cfg := sim.DefaultConfig().WithPEs(o.pes).WithCMapBytes(o.cmapBytes)
 		if o.slice > 0 {
 			cfg.TaskSliceElems = o.slice
@@ -204,7 +215,7 @@ func run(o options) error {
 		cfg.Trace = tracer
 		cfg.Sample = sampler
 		endSim := phase(reg, "simulate")
-		res, err := sim.SimulateContext(ctx, mineG, pl, cfg)
+		res, err := sim.SimulateContext(ctx, simG, pl, cfg)
 		endSim()
 		registerResult(reg, "sim", res.Counts, &res.Stats)
 		if timedOut(err) {
@@ -319,16 +330,40 @@ func printSimStats(s sim.Stats) {
 		s.SIUIters, s.SDUIters, s.CMap.ReadRatio()*100)
 }
 
-func loadInput(graphPath, dataset string) (*graph.Graph, error) {
+// loadInput resolves the input store. A -graph path that names a sharded
+// store directory (manifest.json) opens mmap-backed shards; -mmap maps a
+// binary CSR file zero-copy instead of reading it onto the heap. The returned
+// closer (never nil) releases any mappings.
+func loadInput(graphPath, dataset string, useMmap bool) (graph.Store, func() error, error) {
+	noop := func() error { return nil }
 	switch {
 	case graphPath != "" && dataset != "":
-		return nil, fmt.Errorf("-graph and -dataset are mutually exclusive")
+		return nil, noop, fmt.Errorf("-graph and -dataset are mutually exclusive")
 	case graphPath != "":
-		return graph.Load(graphPath)
+		if graph.IsShardedDir(graphPath) {
+			s, err := graph.OpenSharded(graphPath)
+			if err != nil {
+				return nil, noop, err
+			}
+			return s, s.Close, nil
+		}
+		if useMmap {
+			m, err := graph.OpenMapped(graphPath)
+			if err != nil {
+				return nil, noop, err
+			}
+			return m, m.Close, nil
+		}
+		g, err := graph.Load(graphPath)
+		return g, noop, err
 	case dataset != "":
-		return bench.Get(dataset)
+		if useMmap {
+			return nil, noop, fmt.Errorf("-mmap maps a file; it cannot apply to the generated -dataset stand-ins")
+		}
+		g, err := bench.Get(dataset)
+		return g, noop, err
 	default:
-		return nil, fmt.Errorf("one of -graph or -dataset is required")
+		return nil, noop, fmt.Errorf("one of -graph or -dataset is required")
 	}
 }
 
@@ -339,9 +374,13 @@ func inputName(graphPath, dataset string) string {
 	return graphPath
 }
 
-// buildPlan compiles the requested workload and returns the graph the plan
-// must run on (oriented for clique apps).
-func buildPlan(g *graph.Graph, app, patName string, induced bool) (*plan.Plan, *graph.Graph, error) {
+// buildPlan compiles the requested workload and returns the store the plan
+// must run on. Clique apps mine the degree-oriented DAG: an input that is
+// already a DAG (gengraph -orient) is used as-is; a symmetric in-heap graph
+// is oriented on the fly; a symmetric mapped or sharded store cannot be —
+// the mapping is read-only, so the orientation must happen at generation
+// time.
+func buildPlan(g graph.Store, app, patName string, induced bool) (*plan.Plan, graph.Store, error) {
 	switch {
 	case app != "" && patName != "":
 		return nil, nil, fmt.Errorf("-app and -pattern are mutually exclusive")
@@ -372,7 +411,14 @@ func buildPlan(g *graph.Graph, app, patName string, induced bool) (*plan.Plan, *
 		if err != nil {
 			return nil, nil, err
 		}
-		return pl, g.Orient(), nil
+		if g.IsDAG() {
+			return pl, g, nil
+		}
+		hg, ok := g.(*graph.Graph)
+		if !ok {
+			return nil, nil, fmt.Errorf("clique apps mine a degree-oriented DAG, and a mapped or sharded store is read-only; regenerate the input with `gengraph -orient` (or `gengraph shard -orient`), or drop -mmap to orient in memory")
+		}
+		return pl, hg.Orient(), nil
 	case patName != "":
 		p, err := pattern.ByName(patName)
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -32,8 +33,9 @@ func runServe(args []string) error {
 		fs.PrintDefaults()
 	}
 	addr := fs.String("addr", "localhost:8080", "HTTP listen address")
-	graphPath := fs.String("graph", "", "input graph file (edge list, or .bin CSR)")
+	graphPath := fs.String("graph", "", "input graph file (edge list, .bin CSR, or sharded store directory)")
 	dataset := fs.String("dataset", "", "built-in dataset stand-in (As, Mi, Pa, Yo, Lj, Or)")
+	useMmap := fs.Bool("mmap", false, "memory-map the -graph .bin file zero-copy instead of loading it onto the heap")
 	app := fs.String("app", "", "application: TC, 4-CL, 5-CL, SL-4cycle, SL-diamond, 3-MC, 4-MC")
 	patName := fs.String("pattern", "", "pattern name for edge-induced subgraph listing")
 	induced := fs.Bool("induced", false, "vertex-induced matching for -pattern")
@@ -58,10 +60,11 @@ func runServe(args []string) error {
 	// listener is bound.
 	var mine func(context.Context) error
 	if *runs > 0 {
-		g, err := loadInput(*graphPath, *dataset)
+		g, closeG, err := loadInput(*graphPath, *dataset, *useMmap)
 		if err != nil {
 			return err
 		}
+		defer closeG()
 		fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(*graphPath, *dataset), g))
 		pl, mineG, err := buildPlan(g, *app, *patName, *induced)
 		if err != nil {
@@ -75,7 +78,10 @@ func runServe(args []string) error {
 			for r := 0; r < *runs; r++ {
 				eng, err := core.NewEngine(mineG, pl, core.Options{
 					Threads: *threads, SliceElems: *slice, Kernel: kernel,
-					SchedHooks: prog.Hooks(), OnTaskDone: prog.OnTaskDone,
+					// Steal traffic feeds both the live /debug/progress view and
+					// the registry's sched.* counters on /metrics.
+					SchedHooks: sched.MergeHooks(prog.Hooks(), obs.SchedHooks(reg)),
+					OnTaskDone: prog.OnTaskDone,
 				})
 				if err != nil {
 					return err

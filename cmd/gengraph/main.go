@@ -6,17 +6,35 @@
 //	gengraph -kind chunglu -n 100000 -m 1000000 -beta 2.3 -seed 7 -o graph.bin
 //	gengraph -kind rmat -scale 18 -m 4000000 -o rmat.txt
 //	gengraph -convert in.txt -o out.bin
+//	gengraph -kind rmat -scale 18 -m 4000000 -shards 8 -o shards/
+//	gengraph -convert in.txt -orient -o dag.bin
+//	gengraph shard -in graph.bin -shards 8 -o shards/
+//
+// With -shards N the output is a sharded store directory (N per-shard CSR
+// files plus manifest.json) that flexminer memory-maps shard by shard; the
+// shard subcommand re-partitions an existing graph file the same way.
+// -orient converts the graph to its degree-oriented DAG before writing (the
+// orientation optimization of §V-C) so clique apps can mine mapped files
+// without an in-heap copy.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/graph"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		if err := runShard(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "gengraph shard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		kind    = flag.String("kind", "chunglu", "generator: er, chunglu, rmat, ring, clique, bipartite, grid")
 		n       = flag.Int("n", 10000, "vertex count (er, chunglu, ring, clique)")
@@ -26,16 +44,18 @@ func main() {
 		k       = flag.Int("k", 4, "ring neighbor span / grid side")
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		convert = flag.String("convert", "", "convert an existing graph file instead of generating")
-		out     = flag.String("o", "", "output path (.bin = binary CSR, else text edge list)")
+		orient  = flag.Bool("orient", false, "write the degree-oriented DAG instead of the symmetric graph")
+		shards  = flag.Int("shards", 0, "write a sharded store directory with this many shards (-o names the directory)")
+		out     = flag.String("o", "", "output path (.bin = binary CSR, else text edge list; a directory with -shards)")
 	)
 	flag.Parse()
-	if err := run(*kind, *n, *m, *beta, *scale, *k, *seed, *convert, *out); err != nil {
+	if err := run(*kind, *n, *m, *beta, *scale, *k, *seed, *convert, *orient, *shards, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "gengraph:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, n, m int, beta float64, scale, k int, seed uint64, convert, out string) error {
+func run(kind string, n, m int, beta float64, scale, k int, seed uint64, convert string, orient bool, shards int, out string) error {
 	if out == "" {
 		return fmt.Errorf("-o output path is required")
 	}
@@ -66,8 +86,51 @@ func run(kind string, n, m int, beta float64, scale, k int, seed uint64, convert
 			return fmt.Errorf("unknown generator %q", kind)
 		}
 	}
+	return write(g, orient, shards, out)
+}
+
+// runShard implements `gengraph shard`: re-partition an existing graph file
+// into a sharded store directory.
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("gengraph shard", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: gengraph shard -in FILE -shards N -o DIR")
+		fs.PrintDefaults()
+	}
+	in := fs.String("in", "", "input graph file (edge list, or .bin CSR)")
+	shards := fs.Int("shards", 4, "shard count")
+	orient := fs.Bool("orient", false, "shard the degree-oriented DAG instead of the symmetric graph")
+	out := fs.String("o", "", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-in and -o are required")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	g, err := graph.Load(*in)
+	if err != nil {
+		return err
+	}
+	return write(g, *orient, *shards, *out)
+}
+
+// write applies orientation, prints the stats line, and routes the graph to
+// the requested on-disk form: sharded directory, binary CSR, or edge list.
+func write(g *graph.Graph, orient bool, shards int, out string) error {
+	if orient {
+		g = g.Orient()
+	}
 	fmt.Println(graph.ComputeStats(out, g))
-	if len(out) > 4 && out[len(out)-4:] == ".bin" {
+	if shards > 0 {
+		return graph.WriteSharded(out, g, shards)
+	}
+	if strings.HasSuffix(out, ".bin") {
 		return graph.SaveBinary(out, g)
 	}
 	f, err := os.Create(out)

@@ -38,8 +38,18 @@ import (
 // Re-exported core types. The facade aliases rather than wraps so that the
 // full APIs of the subsystem packages remain reachable from these names.
 type (
-	// Graph is a CSR graph (see NewGraph, LoadGraph, generators below).
+	// Graph is an in-heap CSR graph (see NewGraph, LoadGraph, generators
+	// below).
 	Graph = graph.Graph
+	// Store is the read-only storage seam every backend satisfies: in-heap
+	// graphs, memory-mapped files (OpenMapped) and sharded directories
+	// (OpenSharded). Mine accepts any Store; Simulate wants the concrete
+	// in-heap *Graph.
+	Store = graph.Store
+	// MappedGraph is a zero-copy memory-mapped binary CSR file.
+	MappedGraph = graph.Mapped
+	// ShardedGraph is an mmap-backed sharded store directory.
+	ShardedGraph = graph.Sharded
 	// Pattern is a small query graph.
 	Pattern = pattern.Pattern
 	// Plan is a compiled pattern-specific execution plan.
@@ -87,6 +97,26 @@ func NewGraph(n int, edges [][2]uint32) (*Graph, error) {
 // binary CSR format for ".bin" paths.
 func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
 
+// OpenMapped memory-maps a binary CSR file (SaveGraphBinary's format)
+// zero-copy: adjacency is demand-paged from the file and never copied onto
+// the heap. Close the returned store when done.
+func OpenMapped(path string) (*MappedGraph, error) { return graph.OpenMapped(path) }
+
+// OpenSharded opens a sharded store directory (WriteSharded's layout): each
+// shard is memory-mapped, and Mine schedules shard-locally over it. Close the
+// returned store when done.
+func OpenSharded(dir string) (*ShardedGraph, error) { return graph.OpenSharded(dir) }
+
+// WriteSharded partitions g into the given number of contiguous, arc-balanced
+// vertex ranges and writes one CSR file per shard plus a manifest under dir.
+func WriteSharded(dir string, g *Graph, shards int) error { return graph.WriteSharded(dir, g, shards) }
+
+// SaveGraphBinary writes g in the mappable binary CSR format.
+func SaveGraphBinary(path string, g *Graph) error { return graph.SaveBinary(path, g) }
+
+// IsShardedDir reports whether path names a sharded store directory.
+func IsShardedDir(path string) bool { return graph.IsShardedDir(path) }
+
 // Compile generates the execution plan for a single pattern.
 func Compile(p *Pattern, opt CompileOptions) (*Plan, error) { return plan.Compile(p, opt) }
 
@@ -103,13 +133,14 @@ func CompileMotifs(k int, opt CompileOptions) (*Plan, error) { return plan.Compi
 // inputs (the orientation optimization of §V-C); pair it with Graph.Orient.
 func CompileCliqueDAG(k int) (*Plan, error) { return plan.CompileCliqueDAG(k) }
 
-// Mine runs the pattern-aware CPU engine.
-func Mine(g *Graph, pl *Plan, opt MineOptions) (MineResult, error) { return core.Mine(g, pl, opt) }
+// Mine runs the pattern-aware CPU engine on any storage backend: an in-heap
+// *Graph, a MappedGraph, or a ShardedGraph (which is scheduled shard-locally).
+func Mine(g Store, pl *Plan, opt MineOptions) (MineResult, error) { return core.Mine(g, pl, opt) }
 
 // MineContext is Mine with cancellation/deadline support: once ctx is
 // cancelled or its deadline passes, the run stops promptly and returns the
 // partial counts and stats accumulated so far together with ctx's error.
-func MineContext(ctx context.Context, g *Graph, pl *Plan, opt MineOptions) (MineResult, error) {
+func MineContext(ctx context.Context, g Store, pl *Plan, opt MineOptions) (MineResult, error) {
 	return core.MineContext(ctx, g, pl, opt)
 }
 

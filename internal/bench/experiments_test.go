@@ -58,7 +58,7 @@ func TestWorkloadsCompile(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)
 		}
-		if w.Plan.RequiresDAG != w.G.IsDAG {
+		if w.Plan.RequiresDAG != w.G.IsDAG() {
 			t.Errorf("%s: plan/graph DAG mismatch", app)
 		}
 	}

@@ -1,0 +1,162 @@
+package bench
+
+// Storage-substrate benchmark: one workload mined end-to-end on every graph
+// backend — in-heap CSR, zero-copy mmap, and the sharded store under both
+// shard-local and shard-oblivious seeding — recording wall time and steal
+// traffic. The JSON this emits is committed as BENCH_storage.json so substrate
+// regressions (mmap overhead, locality loss) are visible in review; regenerate
+// with `go run ./cmd/experiments bench-storage`. Times are host-dependent —
+// the committed ratios and the cross-shard steal split, not the absolute
+// seconds, are the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// StorageRow is one backend measurement.
+type StorageRow struct {
+	Backend          string  `json:"backend"` // heap | mmap | sharded-local | sharded-oblivious
+	Workload         string  `json:"workload"`
+	Shards           int     `json:"shards"`
+	Seconds          float64 `json:"seconds"`
+	SpeedupVsHeap    float64 `json:"speedup_vs_heap"`
+	Count            int64   `json:"count"` // mined count: must match across backends
+	Steals           int64   `json:"steals"`
+	CrossShardSteals int64   `json:"cross_shard_steals"`
+}
+
+// StorageBenchReport is the full storage-substrate record.
+type StorageBenchReport struct {
+	Note       string       `json:"note"`
+	GraphBytes int64        `json:"graph_bytes"` // binary CSR file size
+	Rows       []StorageRow `json:"rows"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *StorageBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// StorageBench runs the committed-artifact configuration: triangle counting
+// on a multi-megabyte degree-oriented RMAT graph, 4 shards, best of 3 trials
+// per backend. Orientation (§V-C) keeps per-vertex work near-proportional to
+// arc count, so the arc-balanced shard partition is also work-balanced —
+// the regime the shard-local scheduler is designed for.
+func StorageBench(threads int) (*StorageBenchReport, error) {
+	g := graph.RMAT(15, 1_000_000, 0.57, 0.19, 0.19, 0x5B).Orient()
+	pl, err := plan.CompileCliqueDAG(3)
+	if err != nil {
+		return nil, err
+	}
+	return storageBench(g, pl, "TC-dag/rmat15", 4, 3, threads)
+}
+
+// storageBench materializes g in every backend under a temp directory, mines
+// the triangle plan on each, and collects timing plus steal counters (read
+// back through the obs registry feed, the same path serve mode exports).
+// Steal counts are summed over the trials of a backend.
+func storageBench(g *graph.Graph, pl *plan.Plan, label string, shards, trials, threads int) (*StorageBenchReport, error) {
+	if threads <= 0 {
+		threads = 8
+	}
+	dir, err := os.MkdirTemp("", "flexminer-storagebench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "g.bin")
+	if err := graph.SaveBinary(bin, g); err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(bin)
+	if err != nil {
+		return nil, err
+	}
+	m, err := graph.OpenMapped(bin)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	sdir := filepath.Join(dir, "shards")
+	if err := graph.WriteSharded(sdir, g, shards); err != nil {
+		return nil, err
+	}
+	s, err := graph.OpenSharded(sdir)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	backends := []struct {
+		name      string
+		st        graph.Store
+		shards    int
+		oblivious bool
+	}{
+		{"heap", g, 1, false},
+		{"mmap", m, 1, false},
+		{"sharded-local", s, shards, false},
+		{"sharded-oblivious", s, shards, true},
+	}
+
+	rep := &StorageBenchReport{
+		Note: fmt.Sprintf("storage substrate A/B, best of %d trials; seconds are host-dependent, "+
+			"the ratios and the cross-shard steal split are the regression signal; "+
+			"steal counts are summed over trials", trials),
+		GraphBytes: fi.Size(),
+	}
+	var heapSec float64
+	var heapCount int64
+	for _, b := range backends {
+		reg := obs.NewRegistry(nil)
+		eng, err := core.NewEngine(b.st, pl, core.Options{
+			Threads:        threads,
+			ShardOblivious: b.oblivious,
+			SchedHooks:     obs.SchedHooks(reg),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var count int64
+		sec := 0.0
+		for trial := 0; trial < trials; trial++ {
+			start := now()
+			res := eng.Mine()
+			if sc := since(start); trial == 0 || sc < sec {
+				sec, count = sc, res.Count()
+			}
+		}
+		row := StorageRow{
+			Backend:          b.name,
+			Workload:         label,
+			Shards:           b.shards,
+			Seconds:          sec,
+			Count:            count,
+			Steals:           reg.Get(obs.SchedSteals),
+			CrossShardSteals: reg.Get(obs.SchedStealsCrossShard),
+		}
+		if b.name == "heap" {
+			heapSec, heapCount = sec, count
+			row.SpeedupVsHeap = 1
+		} else {
+			row.SpeedupVsHeap = heapSec / sec
+			if count != heapCount {
+				return nil, fmt.Errorf("storage bench %s: backend %s count %d != heap count %d",
+					label, b.name, count, heapCount)
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}

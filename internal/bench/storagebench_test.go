@@ -1,0 +1,75 @@
+//go:build unix
+
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+)
+
+// TestStorageBenchSmoke runs the substrate A/B on a reduced fixture: every
+// backend must report the same count, the heap row anchors the speedup
+// column, and sharded rows carry the steal split.
+func TestStorageBenchSmoke(t *testing.T) {
+	g := graph.RMAT(11, 30000, 0.57, 0.19, 0.19, 0x5B)
+	pl, err := plan.Compile(pattern.Triangle(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := storageBench(g, pl, "TC-sym/rmat11", 4, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rep.Rows))
+	}
+	if rep.GraphBytes <= 0 {
+		t.Errorf("graph_bytes = %d", rep.GraphBytes)
+	}
+	want := map[string]int{"heap": 1, "mmap": 1, "sharded-local": 4, "sharded-oblivious": 4}
+	for i, row := range rep.Rows {
+		if row.Workload != "TC-sym/rmat11" {
+			t.Errorf("row %d workload %q", i, row.Workload)
+		}
+		shards, ok := want[row.Backend]
+		if !ok {
+			t.Fatalf("unexpected backend %q", row.Backend)
+		}
+		delete(want, row.Backend)
+		if row.Shards != shards {
+			t.Errorf("%s: shards = %d, want %d", row.Backend, row.Shards, shards)
+		}
+		if row.Count != rep.Rows[0].Count {
+			t.Errorf("%s: count %d != heap count %d", row.Backend, row.Count, rep.Rows[0].Count)
+		}
+		if row.Seconds <= 0 || row.SpeedupVsHeap <= 0 {
+			t.Errorf("%s: seconds=%v speedup=%v", row.Backend, row.Seconds, row.SpeedupVsHeap)
+		}
+		if row.CrossShardSteals > row.Steals {
+			t.Errorf("%s: cross-shard steals %d exceed total steals %d", row.Backend, row.CrossShardSteals, row.Steals)
+		}
+		if row.Shards == 1 && row.CrossShardSteals != 0 {
+			t.Errorf("%s: unsharded run reported %d cross-shard steals", row.Backend, row.CrossShardSteals)
+		}
+	}
+	if rep.Rows[0].Backend != "heap" || rep.Rows[0].SpeedupVsHeap != 1 {
+		t.Errorf("first row must be the heap anchor: %+v", rep.Rows[0])
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if _, ok := doc["rows"]; !ok {
+		t.Error("report JSON missing rows")
+	}
+}

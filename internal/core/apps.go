@@ -35,7 +35,7 @@ func CliqueCount(g *graph.Graph, k int, o Options) (int64, error) {
 
 // CliqueCountGeneric solves k-CL with the generic symmetric-graph plan
 // (symmetry order instead of orientation); used to cross-check the DAG path.
-func CliqueCountGeneric(g *graph.Graph, k int, o Options) (int64, error) {
+func CliqueCountGeneric(g graph.Store, k int, o Options) (int64, error) {
 	pl, err := plan.Compile(pattern.KClique(k), plan.Options{})
 	if err != nil {
 		return 0, err
@@ -50,7 +50,7 @@ func CliqueCountGeneric(g *graph.Graph, k int, o Options) (int64, error) {
 // SubgraphListing solves SL: the number of edge-induced subgraphs of g
 // isomorphic to p. (Engines count rather than materialize; the per-embedding
 // callback lives in the examples.)
-func SubgraphListing(g *graph.Graph, p *pattern.Pattern, o Options) (int64, error) {
+func SubgraphListing(g graph.Store, p *pattern.Pattern, o Options) (int64, error) {
 	pl, err := plan.Compile(p, plan.Options{})
 	if err != nil {
 		return 0, err
@@ -64,7 +64,7 @@ func SubgraphListing(g *graph.Graph, p *pattern.Pattern, o Options) (int64, erro
 
 // MotifCounts solves k-MC: vertex-induced counts of every connected k-vertex
 // motif, in pattern.Motifs(k) order.
-func MotifCounts(g *graph.Graph, k int, o Options) ([]int64, []*pattern.Pattern, error) {
+func MotifCounts(g graph.Store, k int, o Options) ([]int64, []*pattern.Pattern, error) {
 	pl, err := plan.CompileMotifs(k, plan.Options{})
 	if err != nil {
 		return nil, nil, err

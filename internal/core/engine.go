@@ -86,6 +86,14 @@ type Options struct {
 	// come from the simulator, whose coordinator serializes emission.
 	Trace *obs.Tracer
 
+	// ShardOblivious disables shard-local task placement for sharded stores:
+	// tasks are dealt round-robin across all workers regardless of which
+	// shard owns their start vertex, exactly like a non-sharded run. Counts
+	// and Stats are invariant under this switch — only steal traffic (and
+	// wall-clock) changes — so it is the baseline leg of locality A/Bs
+	// (experiments bench-storage). Ignored for non-sharded stores.
+	ShardOblivious bool
+
 	// SchedHooks observe the work-stealing scheduler (steals, task
 	// retirements) during the run — the live-progress feed of serve mode.
 	// Callbacks run on worker goroutines and are merged with (fire before)
@@ -165,7 +173,7 @@ func (r Result) Count() int64 {
 
 // Engine mines a graph according to a compiled plan.
 type Engine struct {
-	g  *graph.Graph
+	g  graph.Store
 	pl *plan.Plan
 	o  Options
 }
@@ -174,14 +182,14 @@ type Engine struct {
 // bitmap-capable kernel policy this also builds (or reuses) the graph's
 // hub-adjacency bitmap index, so the one-time build cost is paid at engine
 // construction, not inside the mining hot path.
-func NewEngine(g *graph.Graph, pl *plan.Plan, o Options) (*Engine, error) {
+func NewEngine(g graph.Store, pl *plan.Plan, o Options) (*Engine, error) {
 	if err := pl.Validate(); err != nil {
 		return nil, err
 	}
-	if pl.RequiresDAG && !g.IsDAG {
+	if pl.RequiresDAG && !g.IsDAG() {
 		return nil, fmt.Errorf("core: plan %q requires an oriented DAG input (use graph.Orient)", pl.Patterns[0].Name())
 	}
-	if !pl.RequiresDAG && g.IsDAG {
+	if !pl.RequiresDAG && g.IsDAG() {
 		return nil, fmt.Errorf("core: plan %q requires a symmetric graph, got a DAG", pl.Patterns[0].Name())
 	}
 	o = o.withDefaults()
@@ -190,13 +198,19 @@ func NewEngine(g *graph.Graph, pl *plan.Plan, o Options) (*Engine, error) {
 }
 
 // hubIndexFor resolves the hub-bitmap index the options call for: nil when
-// the policy never probes bitmaps or the index is disabled, the graph's
-// shared (lazily built) index otherwise.
-func hubIndexFor(g *graph.Graph, o Options) *graph.HubIndex {
+// the policy never probes bitmaps or the index is disabled, or when the
+// store cannot host one; the store's shared (lazily built) index otherwise.
+// All built-in backends implement graph.HubIndexer with one shared build
+// routine, so engine statistics stay invariant across storage backends.
+func hubIndexFor(g graph.Store, o Options) *graph.HubIndex {
 	if o.HubBitmaps < 0 || (o.Kernel != KernelAuto && o.Kernel != KernelBitmap) {
 		return nil
 	}
-	return g.EnsureHubIndex(o.HubBitmaps)
+	hi, ok := g.(graph.HubIndexer)
+	if !ok {
+		return nil
+	}
+	return hi.EnsureHubIndex(o.HubBitmaps)
 }
 
 // sliceElems resolves the slicing policy against the engine's input graph.
@@ -269,7 +283,7 @@ func (e *Engine) mine(ctx context.Context, visit Visitor) (Result, error) {
 		}
 	}
 	onDone := e.o.OnTaskDone
-	err := sched.RunHooked(ctx, threads, tasks, func(t int, task sched.Task) bool {
+	run := func(t int, task sched.Task) bool {
 		w := workers[t]
 		if onDone == nil {
 			return w.runTask(task)
@@ -285,7 +299,18 @@ func (e *Engine) mine(ctx context.Context, visit Visitor) (Result, error) {
 		}
 		onDone(t, after-before)
 		return ok
-	}, hooks)
+	}
+	var err error
+	if sm, ok := e.g.(sched.ShardMap); ok && sm.NumShards() > 1 {
+		// Sharded store: seed each root task onto the worker group bound to
+		// its start vertex's shard so a task's first adjacency read stays in
+		// local pages, and steal cross-group only as a last resort. Counts
+		// and Stats are placement-invariant; only steal traffic changes.
+		err = sched.RunSharded(ctx, threads, tasks,
+			sched.ShardOptions{Map: sm, Oblivious: e.o.ShardOblivious}, run, hooks)
+	} else {
+		err = sched.RunHooked(ctx, threads, tasks, run, hooks)
+	}
 	total := Result{Counts: make([]int64, len(e.pl.Patterns))}
 	for _, w := range workers {
 		for i, c := range w.counts {
@@ -300,7 +325,7 @@ func (e *Engine) mine(ctx context.Context, visit Visitor) (Result, error) {
 }
 
 // Mine is the convenience one-shot: build an engine and run it.
-func Mine(g *graph.Graph, pl *plan.Plan, o Options) (Result, error) {
+func Mine(g graph.Store, pl *plan.Plan, o Options) (Result, error) {
 	e, err := NewEngine(g, pl, o)
 	if err != nil {
 		return Result{}, err
@@ -310,7 +335,7 @@ func Mine(g *graph.Graph, pl *plan.Plan, o Options) (Result, error) {
 
 // MineContext is the one-shot with cancellation/deadline support; on ctx
 // expiry it returns the partial counts mined so far plus ctx's error.
-func MineContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, o Options) (Result, error) {
+func MineContext(ctx context.Context, g graph.Store, pl *plan.Plan, o Options) (Result, error) {
 	e, err := NewEngine(g, pl, o)
 	if err != nil {
 		return Result{}, err
@@ -321,7 +346,7 @@ func MineContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, o Options) 
 // worker holds the per-thread DFS state: the ancestor stack, per-level
 // candidate buffers (which double as memoized frontiers), and the c-map.
 type worker struct {
-	g  *graph.Graph
+	g  graph.Store
 	pl *plan.Plan
 	o  Options
 
@@ -378,7 +403,7 @@ func (w *worker) cancelled() bool {
 	return w.stopped
 }
 
-func newWorker(g *graph.Graph, pl *plan.Plan, o Options) *worker {
+func newWorker(g graph.Store, pl *plan.Plan, o Options) *worker {
 	w := &worker{
 		g:         g,
 		pl:        pl,

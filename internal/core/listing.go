@@ -24,14 +24,14 @@ type Visitor func(emb []graph.VID, patternIdx int)
 // embedding, and returns the per-pattern counts (which always equal Mine's).
 // Listing plans must use symmetry breaking (CountDivisor 1), since an
 // automorphism-deduplicating visitor cannot be synthesized generically.
-func List(g *graph.Graph, pl *plan.Plan, o Options, visit Visitor) (Result, error) {
+func List(g graph.Store, pl *plan.Plan, o Options, visit Visitor) (Result, error) {
 	return ListContext(context.Background(), g, pl, o, visit)
 }
 
 // ListContext is List under a context: once ctx is cancelled the enumeration
 // stops promptly, returning the partial counts alongside ctx's error. Every
 // embedding delivered to visit before that point was a genuine match.
-func ListContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, o Options, visit Visitor) (Result, error) {
+func ListContext(ctx context.Context, g graph.Store, pl *plan.Plan, o Options, visit Visitor) (Result, error) {
 	e, err := NewEngine(g, pl, o)
 	if err != nil {
 		return Result{}, err

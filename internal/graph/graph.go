@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // VID is a vertex identifier. The paper's hardware uses 32-bit keys in the
@@ -29,17 +28,20 @@ type Graph struct {
 	Row []int64 // len = NumVertices()+1
 	Col []VID   // len = Row[NumVertices()]
 
-	// IsDAG records that the graph was produced by Orient and each edge
-	// appears exactly once.
-	IsDAG bool
+	// DAG records that the graph was produced by Orient and each edge
+	// appears exactly once; read it through the IsDAG method, which is the
+	// Store-interface spelling.
+	DAG bool
 
 	maxDegree int
 
-	// hub is the lazily built hub-adjacency bitmap index (see hub.go); it
-	// lives on the graph so it follows it through dataset/DAG caches.
-	hubMu sync.Mutex
-	hub   *HubIndex
+	// hubCache is the lazily built hub-adjacency bitmap index (see hub.go);
+	// it lives on the graph so it follows it through dataset/DAG caches.
+	hubCache
 }
+
+// IsDAG reports whether the graph was produced by Orient.
+func (g *Graph) IsDAG() bool { return g.DAG }
 
 // NumVertices returns |V|.
 func (g *Graph) NumVertices() int { return len(g.Row) - 1 }
@@ -47,7 +49,7 @@ func (g *Graph) NumVertices() int { return len(g.Row) - 1 }
 // NumEdges returns the number of undirected edges |E| for a symmetric graph,
 // or the number of stored arcs for an oriented DAG.
 func (g *Graph) NumEdges() int64 {
-	if g.IsDAG {
+	if g.DAG {
 		return int64(len(g.Col))
 	}
 	return int64(len(g.Col)) / 2
@@ -96,7 +98,7 @@ func (g *Graph) Connected(u, v VID) bool {
 	} else if g.HasEdge(v, u) {
 		return true
 	}
-	if g.IsDAG {
+	if g.DAG {
 		if g.Degree(u) <= g.Degree(v) {
 			return g.HasEdge(v, u)
 		}
@@ -204,7 +206,7 @@ func (g *Graph) recomputeMaxDegree() {
 // endpoint with smaller (degree, ID) to the larger. After orientation no
 // symmetry-order checking is needed for k-clique mining.
 func (g *Graph) Orient() *Graph {
-	if g.IsDAG {
+	if g.DAG {
 		return g
 	}
 	n := g.NumVertices()
@@ -237,7 +239,7 @@ func (g *Graph) Orient() *Graph {
 			}
 		}
 	}
-	out := &Graph{Row: row, Col: col, IsDAG: true}
+	out := &Graph{Row: row, Col: col, DAG: true}
 	// Adjacency of the source graph was sorted; arcs to higher-ranked
 	// vertices preserve ID order only within, so re-sort to be safe.
 	for v := 0; v < n; v++ {
@@ -274,7 +276,7 @@ func (g *Graph) Validate() error {
 			if i > 0 && adj[i-1] >= w {
 				return fmt.Errorf("graph: adjacency of %d not sorted/unique", v)
 			}
-			if !g.IsDAG && !g.HasEdge(w, VID(v)) {
+			if !g.DAG && !g.HasEdge(w, VID(v)) {
 				return fmt.Errorf("graph: arc %d->%d missing reverse", v, w)
 			}
 		}
@@ -291,8 +293,9 @@ type Stats struct {
 	AvgDegree float64
 }
 
-// ComputeStats returns the Table I statistics for g under the given name.
-func ComputeStats(name string, g *Graph) Stats {
+// ComputeStats returns the Table I statistics for g under the given name; it
+// works for any storage backend.
+func ComputeStats(name string, g Store) Stats {
 	return Stats{
 		Name:      name,
 		Vertices:  g.NumVertices(),

@@ -62,7 +62,7 @@ func TestOrientInvariants(t *testing.T) {
 		}
 		g := MustFromEdges(n, edges)
 		dag := g.Orient()
-		if !dag.IsDAG {
+		if !dag.IsDAG() {
 			return false
 		}
 		if dag.NumArcs() != g.NumEdges() {
@@ -229,9 +229,9 @@ func TestBinaryRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if g2.NumVertices() != g.NumVertices() || g2.NumArcs() != g.NumArcs() || g2.IsDAG != g.IsDAG {
+		if g2.NumVertices() != g.NumVertices() || g2.NumArcs() != g.NumArcs() || g2.IsDAG() != g.IsDAG() {
 			t.Errorf("round trip mismatch: %d/%d arcs %d/%d dag %v/%v",
-				g2.NumVertices(), g.NumVertices(), g2.NumArcs(), g.NumArcs(), g2.IsDAG, g.IsDAG)
+				g2.NumVertices(), g.NumVertices(), g2.NumArcs(), g.NumArcs(), g2.IsDAG(), g.IsDAG())
 		}
 		for v := 0; v < g.NumVertices(); v++ {
 			a, b := g.Adj(VID(v)), g2.Adj(VID(v))

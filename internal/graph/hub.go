@@ -11,7 +11,10 @@ package graph
 // after load/orient) and shared read-only by every worker; it never affects
 // the simulator, whose SIU/SDU cycle model stays merge-based.
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // DefaultHubBitmaps is the top-K hub count an engine indexes when the caller
 // does not choose one. At K=64 the index costs K·|V|/8 bytes — 32 kB per
@@ -55,8 +58,9 @@ func (h *HubIndex) Bitmap(v VID) []uint64 {
 }
 
 // buildHubIndex selects the (at most) topK vertices of degree ≥ hubMinDegree
-// and densifies their neighbor lists.
-func buildHubIndex(g *Graph, topK int) *HubIndex {
+// and densifies their neighbor lists. It only reads through the Store seam,
+// so every backend (heap, mmap, sharded) shares one implementation.
+func buildHubIndex(g Store, topK int) *HubIndex {
 	n := g.NumVertices()
 	h := &HubIndex{words: (n + 63) / 64, slot: make([]int32, n)}
 	if topK <= 0 {
@@ -90,6 +94,28 @@ func buildHubIndex(g *Graph, topK int) *HubIndex {
 	return h
 }
 
+// hubCache is the lazily built, per-store hub-bitmap index slot. Every Store
+// implementation embeds one so the index follows the store through caches and
+// is shared by every engine constructed on it.
+type hubCache struct {
+	hubMu sync.Mutex
+	hub   *HubIndex
+}
+
+// ensureHub builds (once) and returns the index over s; the first build wins
+// regardless of later topK values.
+func (c *hubCache) ensureHub(s Store, topK int) *HubIndex {
+	if topK <= 0 {
+		topK = DefaultHubBitmaps
+	}
+	c.hubMu.Lock()
+	defer c.hubMu.Unlock()
+	if c.hub == nil {
+		c.hub = buildHubIndex(s, topK)
+	}
+	return c.hub
+}
+
 // EnsureHubIndex builds (once) and returns the graph's hub-bitmap index over
 // the topK highest-degree vertices; topK ≤ 0 selects DefaultHubBitmaps. The
 // first build wins — later calls return the existing index regardless of
@@ -98,13 +124,5 @@ func buildHubIndex(g *Graph, topK int) *HubIndex {
 // for concurrent use; callers should capture the returned pointer rather
 // than re-resolving it on hot paths.
 func (g *Graph) EnsureHubIndex(topK int) *HubIndex {
-	if topK <= 0 {
-		topK = DefaultHubBitmaps
-	}
-	g.hubMu.Lock()
-	defer g.hubMu.Unlock()
-	if g.hub == nil {
-		g.hub = buildHubIndex(g, topK)
-	}
-	return g.hub
+	return g.ensureHub(g, topK)
 }

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package graph
+
+import "errors"
+
+// errNoMmap gates the mapped backend on platforms without a memory-mapping
+// shim; LoadBinary remains the portable path.
+var errNoMmap = errors.New("graph: memory-mapped stores are not supported on this platform")
+
+func mmapFile(f interface{ Fd() uintptr }, size int) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

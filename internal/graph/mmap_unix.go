@@ -1,0 +1,22 @@
+//go:build unix
+
+package graph
+
+import "syscall"
+
+// mmapFile maps size bytes of f read-only and shared, so pages are served
+// from (and evicted back to) the page cache rather than the Go heap.
+func mmapFile(f interface{ Fd() uintptr }, size int) ([]byte, error) {
+	if size == 0 {
+		return []byte{}, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

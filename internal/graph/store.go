@@ -1,0 +1,58 @@
+package graph
+
+// The storage seam: Store abstracts the CSR substrate so mining engines and
+// schedulers are independent of where adjacency bytes live — the in-memory
+// *Graph, a zero-copy mmap view of a binary CSR file (Mapped), or a
+// degree-partitioned set of shard files (Sharded). The interface is cut at
+// Adj granularity: one sorted neighbor-list lookup is the only read the DFS
+// hot path performs, so a backend only has to answer "where is v's sorted
+// neighbor slice" and a handful of O(1) size queries. Anything finer (per
+// element access) would put an interface call inside the merge loops;
+// anything coarser (bulk iteration) would force backends to materialize.
+//
+// Paper-figure runners (bench.Table2/Fig7/BaselineSeconds) deliberately keep
+// the concrete *Graph: the published numbers were measured against the heap
+// substrate, and devirtualized access keeps those goldens byte-identical.
+
+// Store is the read-only view of a CSR graph that the compiler, the CPU
+// engine, and the task scheduler consume.
+//
+// The slice returned by Adj aliases backend storage and MUST NOT be written
+// to: for mmap-backed stores it is a view of read-only pages and a write
+// kills the process. The flexlint adjwrite analyzer enforces this at the
+// source level.
+type Store interface {
+	// NumVertices returns |V|.
+	NumVertices() int
+	// NumEdges returns |E| for symmetric graphs, stored arcs for DAGs.
+	NumEdges() int64
+	// NumArcs returns the number of stored directed arcs.
+	NumArcs() int64
+	// Degree returns the stored out-degree of v.
+	Degree(v VID) int
+	// MaxDegree returns the maximum degree over all vertices.
+	MaxDegree() int
+	// AvgDegree returns the mean number of stored neighbors per vertex.
+	AvgDegree() float64
+	// Adj returns the sorted neighbor list of v. Read-only; see above.
+	Adj(v VID) []VID
+	// AdjStart returns the element offset of v's neighbor list within the
+	// (virtual) global Col array; the simulator derives addresses from it.
+	AdjStart(v VID) int64
+	// IsDAG reports whether the graph was degree-oriented (each undirected
+	// edge stored once, low rank → high rank).
+	IsDAG() bool
+}
+
+// HubIndexer is implemented by stores that can lazily build and share a
+// hub-adjacency bitmap index (see hub.go). All built-in stores implement it;
+// the engine falls back to bitmap-free kernels when a store does not.
+type HubIndexer interface {
+	EnsureHubIndex(topK int) *HubIndex
+}
+
+// Compile-time checks that every built-in backend satisfies the seam.
+var (
+	_ Store      = (*Graph)(nil)
+	_ HubIndexer = (*Graph)(nil)
+)

@@ -1,0 +1,172 @@
+package lint
+
+// adjwrite guards the storage seam's aliasing contract: graph.Store.Adj (and
+// the concrete backends' Adj methods) return views over the store's own
+// memory — for in-heap graphs a slice of the shared Col array, for mapped
+// and sharded stores a window into a PROT_READ mmap where a write is an
+// unrecoverable SIGSEGV. Callers must treat the result as read-only and copy
+// before mutating. adjwrite flags every write reached through an Adj result:
+// direct element assignment, assignment or ++/-- through a variable (or
+// re-slice of one) holding an Adj result, copy with such a slice as
+// destination, in-place sorts (sort.Slice & friends, package slices), and
+// append onto the Adj backing (the adj[:0] reuse idiom).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Adjwrite is the production instance (all packages; the contract binds every
+// caller of any backend).
+var Adjwrite = NewAdjwrite()
+
+// NewAdjwrite builds an adjwrite instance.
+func NewAdjwrite() *Analyzer {
+	return &Analyzer{
+		Name: "adjwrite",
+		Doc:  "forbid writes into adjacency slices returned by Adj (read-only views; mmap-backed stores fault)",
+		Run:  runAdjwrite,
+	}
+}
+
+func runAdjwrite(pass *Pass) {
+	tainted := adjTainted(pass)
+	derived := func(e ast.Expr) bool { return adjDerived(pass, e, tainted) }
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && derived(idx.X) {
+						pass.Reportf(lhs.Pos(), "writes into an adjacency slice returned by Adj; the result is a read-only view (mmap-backed stores fault) — copy before mutating")
+					}
+				}
+			case *ast.IncDecStmt:
+				if idx, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && derived(idx.X) {
+					pass.Reportf(n.Pos(), "writes into an adjacency slice returned by Adj; the result is a read-only view (mmap-backed stores fault) — copy before mutating")
+				}
+			case *ast.CallExpr:
+				checkAdjCall(pass, n, derived)
+			}
+			return true
+		})
+	}
+}
+
+// checkAdjCall flags calls that mutate an Adj-derived argument: builtin copy
+// (destination) and append (backing reuse), and the in-place sorts of the
+// sort and slices packages (first argument).
+func checkAdjCall(pass *Pass, call *ast.CallExpr, derived func(ast.Expr) bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "copy":
+				if derived(call.Args[0]) {
+					pass.Reportf(call.Pos(), "copies into an adjacency slice returned by Adj; the result is a read-only view (mmap-backed stores fault) — allocate a destination")
+				}
+			case "append":
+				if derived(call.Args[0]) {
+					pass.Reportf(call.Pos(), "appends onto the backing of an adjacency slice returned by Adj; the result is a read-only view (mmap-backed stores fault) — append to a fresh slice")
+				}
+			}
+			return
+		}
+	}
+	fn := calleeOf(pass.Pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+		return
+	}
+	if derived(call.Args[0]) {
+		pass.Reportf(call.Pos(), "%s.%s reorders an adjacency slice returned by Adj in place; the result is a read-only view (mmap-backed stores fault) — sort a copy", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// adjTainted computes, to a fixpoint, the set of variables holding an Adj
+// result (directly or through re-slicing/re-assignment) anywhere in the
+// package. Flow-insensitive on purpose: a variable that ever aliases
+// adjacency is treated as adjacency everywhere.
+func adjTainted(pass *Pass) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	taint := func(lhs ast.Expr, changed *bool) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.Pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Pkg.Info.Uses[id]
+		}
+		if obj != nil && !tainted[obj] {
+			tainted[obj] = true
+			*changed = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if len(n.Lhs) == len(n.Rhs) {
+						for i, rhs := range n.Rhs {
+							if adjDerived(pass, rhs, tainted) {
+								taint(n.Lhs[i], &changed)
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if len(n.Names) == len(n.Values) {
+						for i, rhs := range n.Values {
+							if adjDerived(pass, rhs, tainted) {
+								taint(n.Names[i], &changed)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return tainted
+}
+
+// adjDerived reports whether e evaluates to (a re-slice of) an Adj result:
+// a direct call to an Adj method, a tainted variable, or a slice expression
+// over either.
+func adjDerived(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return isAdjMethodCall(pass, x)
+	case *ast.Ident:
+		obj := pass.Pkg.Info.Uses[x]
+		if obj == nil {
+			obj = pass.Pkg.Info.Defs[x]
+		}
+		return obj != nil && tainted[obj]
+	case *ast.SliceExpr:
+		return adjDerived(pass, x.X, tainted)
+	}
+	return false
+}
+
+// isAdjMethodCall matches the storage-seam accessor shape: a method named
+// Adj with one parameter returning a slice — graph.Store.Adj and every
+// backend's concrete implementation, without hard-coding the package.
+func isAdjMethodCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeOf(pass.Pkg, call)
+	if fn == nil || fn.Name() != "Adj" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	_, isSlice := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	return isSlice
+}

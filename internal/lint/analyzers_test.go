@@ -44,6 +44,10 @@ func TestBoundarg(t *testing.T) {
 	runWantTest(t, Boundarg, "boundarg")
 }
 
+func TestAdjwrite(t *testing.T) {
+	runWantTest(t, Adjwrite, "adjwrite")
+}
+
 // TestRepoIsClean is the acceptance gate: the production suite must report
 // nothing on the repo itself (fixtures excluded). A regression that trips an
 // analyzer fails here before it fails in CI.

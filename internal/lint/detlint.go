@@ -23,9 +23,12 @@ type DetlintConfig struct {
 	Scope []string
 }
 
-// Detlint is the production instance, scoped to the deterministic core.
+// Detlint is the production instance, scoped to the deterministic core. The
+// graph substrate is included because its on-disk artifacts — binary CSR
+// files, shard partitions, manifests — must be byte-reproducible for the
+// golden and equivalence suites.
 var Detlint = NewDetlint(DetlintConfig{
-	Scope: []string{"repro/internal/sim", "repro/internal/cmap", "repro/internal/plan"},
+	Scope: []string{"repro/internal/sim", "repro/internal/cmap", "repro/internal/plan", "repro/internal/graph"},
 })
 
 // NewDetlint builds a detlint instance with the given scope (tests point it

@@ -13,7 +13,7 @@ import (
 // DefaultAnalyzers returns the production flexlint suite, in the order the
 // diagnostics documentation lists them.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Detlint, Statsum, Kernelpin, Lockcheck, Boundarg}
+	return []*Analyzer{Detlint, Statsum, Kernelpin, Lockcheck, Boundarg, Adjwrite}
 }
 
 // Run executes the analyzers against the target packages (which must belong

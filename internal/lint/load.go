@@ -9,6 +9,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -16,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -131,6 +133,86 @@ func goSource(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
 }
 
+// Build-constraint handling: the loader analyzes one platform — the host's —
+// the way `go build` would, so per-platform file pairs (mmap_unix.go /
+// mmap_stub.go) don't collide as duplicate declarations.
+
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true, "linux": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"wasip1": true, "windows": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true, "loong64": true,
+	"mips": true, "mipsle": true, "mips64": true, "mips64le": true,
+	"ppc64": true, "ppc64le": true, "riscv64": true, "s390x": true,
+	"wasm": true,
+}
+
+var unixGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// filenameExcluded applies the go tool's _GOOS / _GOARCH / _GOOS_GOARCH
+// filename rule against the host platform. A leading component is required —
+// "linux.go" is unconstrained, "x_linux.go" is not.
+func filenameExcluded(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	if len(parts) < 2 {
+		return false
+	}
+	last := parts[len(parts)-1]
+	if knownGOARCH[last] {
+		if last != runtime.GOARCH {
+			return true
+		}
+		if len(parts) >= 3 && knownGOOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] != runtime.GOOS
+		}
+		return false
+	}
+	if knownGOOS[last] {
+		return last != runtime.GOOS
+	}
+	return false
+}
+
+// buildTagsExclude evaluates the file's //go:build line (if any) for the host
+// platform. Only tags the loader understands — GOOS, GOARCH, unix, language
+// versions — satisfy; anything else (custom tags, cgo) reads as unset.
+func buildTagsExclude(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return !expr.Eval(func(tag string) bool {
+				switch {
+				case tag == runtime.GOOS || tag == runtime.GOARCH:
+					return true
+				case tag == "unix":
+					return unixGOOS[runtime.GOOS]
+				case strings.HasPrefix(tag, "go1"):
+					return true
+				}
+				return false
+			})
+		}
+	}
+	return false
+}
+
 // importPathFor maps an absolute directory under the root to its import
 // path.
 func (p *Program) importPathFor(dir string) string {
@@ -189,13 +271,16 @@ func (p *Program) load(dir, path string, testdata bool) (*Package, error) {
 	var files []*ast.File
 	var names []string
 	for _, e := range ents {
-		if !goSource(e.Name()) {
+		if !goSource(e.Name()) || filenameExcluded(e.Name()) {
 			continue
 		}
 		fn := filepath.Join(dir, e.Name())
 		f, err := parser.ParseFile(p.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
+		}
+		if buildTagsExclude(f) {
+			continue
 		}
 		files = append(files, f)
 		names = append(names, fn)

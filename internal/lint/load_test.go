@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"runtime"
+	"testing"
+)
+
+func TestFilenameExcluded(t *testing.T) {
+	cases := map[string]bool{
+		"mmap_unix.go":                 false, // "unix" is not a filename GOOS
+		"io.go":                        false,
+		"linux.go":                     false, // no leading component
+		"x_windows.go":                 runtime.GOOS != "windows",
+		"x_" + runtime.GOOS + ".go":    false,
+		"x_" + runtime.GOARCH + ".go":  false,
+		"x_plan9_386.go":               runtime.GOOS != "plan9" || runtime.GOARCH != "386",
+		"x_wasm.go":                    runtime.GOARCH != "wasm",
+		"deque_test_helper_windows.go": runtime.GOOS != "windows",
+	}
+	for name, want := range cases {
+		if got := filenameExcluded(name); got != want {
+			t.Errorf("filenameExcluded(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestBuildTagsExclude(t *testing.T) {
+	parse := func(src string) bool {
+		t.Helper()
+		f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buildTagsExclude(f)
+	}
+	hostIsUnix := unixGOOS[runtime.GOOS]
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package x\n", false},
+		{"//go:build unix\n\npackage x\n", !hostIsUnix},
+		{"//go:build !unix\n\npackage x\n", hostIsUnix},
+		{"//go:build " + runtime.GOOS + "\n\npackage x\n", false},
+		{"//go:build !" + runtime.GOOS + "\n\npackage x\n", true},
+		{"//go:build sometag\n\npackage x\n", true},
+		{"//go:build go1.21\n\npackage x\n", false},
+		// A build comment after the package clause constrains nothing.
+		{"package x\n\n//go:build unix\nvar V int\n", false},
+	}
+	for _, tc := range cases {
+		if got := parse(tc.src); got != tc.want {
+			t.Errorf("buildTagsExclude(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package adjfix seeds adjacency-write violations for the adjwrite analyzer
+// tests, mirroring the graph.Store accessor shape on a local type so the
+// fixture stays decoupled from the real substrate.
+package adjfix
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+type vid = graph.VID
+
+// store mirrors the storage-seam accessor shape: Adj is a method with one
+// parameter returning a slice view over shared memory.
+type store struct {
+	row []int64
+	col []vid
+}
+
+func (s *store) Adj(v vid) []vid { return s.col[s.row[v]:s.row[v+1]] }
+
+// adjLike has the Adj name but not the accessor shape (two params): not a
+// storage-seam accessor, so writes through it are fine.
+type adjLike struct{}
+
+func (adjLike) Adj(v vid, pad int) []vid { return make([]vid, pad) }
+
+// directWrite mutates the view in place.
+func directWrite(s *store) {
+	s.Adj(0)[0] = 1 // want `writes into an adjacency slice returned by Adj`
+}
+
+// aliasedWrites reach the view through a variable and a re-slice.
+func aliasedWrites(s *store) {
+	adj := s.Adj(1)
+	adj[2] = 3 // want `writes into an adjacency slice returned by Adj`
+	adj[0]++   // want `writes into an adjacency slice returned by Adj`
+	sub := adj[1:]
+	sub[0] = 4 // want `writes into an adjacency slice returned by Adj`
+}
+
+// rebound taints a variable assigned (not just declared) from Adj.
+func rebound(s *store) {
+	var view []vid
+	view = s.Adj(2)
+	view[0] = 7 // want `writes into an adjacency slice returned by Adj`
+}
+
+// builtinWrites mutate through copy and append.
+func builtinWrites(s *store) {
+	adj := s.Adj(0)
+	copy(adj, []vid{9})    // want `copies into an adjacency slice returned by Adj`
+	_ = append(adj[:0], 9) // want `appends onto the backing of an adjacency slice returned by Adj`
+	_ = append(adj, 9)     // want `appends onto the backing of an adjacency slice returned by Adj`
+}
+
+// sortsInPlace reorders the view.
+func sortsInPlace(s *store) {
+	adj := s.Adj(3)
+	sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] }) // want `reorders an adjacency slice returned by Adj in place`
+}
+
+// interfaceWrite goes through the real storage seam.
+func interfaceWrite(g graph.Store) {
+	g.Adj(0)[0] = 1 // want `writes into an adjacency slice returned by Adj`
+}
+
+// cleanReads exercise every sanctioned shape: reads, copy-then-mutate, and
+// append into fresh storage.
+func cleanReads(s *store) vid {
+	adj := s.Adj(0)
+	var sum vid
+	for _, u := range adj {
+		sum += u
+	}
+	cp := append([]vid(nil), adj...)
+	cp[0] = 1
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	copy(cp, adj)
+	var local []vid
+	local = append(local, adj...)
+	if len(local) > 0 {
+		local[0] = 2
+	}
+	_ = s.Adj(0)[0] // reading an element is fine
+	other := adjLike{}
+	w := other.Adj(0, 4)
+	w[0] = 5 // not the accessor shape: allowed
+	return sum + cp[0]
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestSchedHooksCounters(t *testing.T) {
+	r := NewRegistry(nil)
+	h := SchedHooks(r)
+	h.OnSteal(1, 0, 3)
+	h.OnSteal(2, 0, 2)
+	h.OnStealTier(1, 0, 3, sched.StealLocal)
+	h.OnStealTier(2, 0, 2, sched.StealCross)
+	h.OnStealTier(3, 0, 1, sched.StealCross)
+	want := map[string]int64{
+		SchedSteals:           2,
+		SchedTasksStolen:      5,
+		SchedStealsLocal:      1,
+		SchedStealsCrossShard: 2,
+	}
+	for name, v := range want {
+		if got := r.Get(name); got != v {
+			t.Errorf("%s = %d, want %d", name, got, v)
+		}
+	}
+}
+
+func TestSchedHooksNilRegistry(t *testing.T) {
+	h := SchedHooks(nil)
+	if h.OnSteal != nil || h.OnStealTier != nil || h.OnTask != nil {
+		t.Fatal("SchedHooks(nil) must be the zero Hooks")
+	}
+}

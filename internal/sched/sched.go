@@ -16,10 +16,55 @@ type Hooks struct {
 	// victim's deque (both are worker indices).
 	OnSteal func(thief, victim, ntasks int)
 
+	// OnStealTier fires after a successful steal under a sharded run, with
+	// the locality tier: StealLocal when thief and victim share a worker
+	// group, StealCross otherwise. Runs without shard grouping (Run /
+	// RunHooked) never fire it.
+	OnStealTier func(thief, victim, ntasks, tier int)
+
 	// OnTask fires after fn returns for a task — the task was executed
 	// (possibly partially, when cancellation latched mid-task). This is the
 	// live-progress feed of serve mode's /debug/progress endpoint.
 	OnTask func(worker int, t Task)
+}
+
+// MergeHooks fans every scheduler event out to each of hs in order, so two
+// independent observers (say, a live Progress tracker and an obs.Registry
+// feed) can watch one run. Nil callbacks are skipped; merging zero or one
+// hook sets is the identity.
+func MergeHooks(hs ...Hooks) Hooks {
+	var out Hooks
+	for _, h := range hs {
+		h := h
+		if h.OnSteal != nil {
+			prev := out.OnSteal
+			out.OnSteal = func(thief, victim, ntasks int) {
+				if prev != nil {
+					prev(thief, victim, ntasks)
+				}
+				h.OnSteal(thief, victim, ntasks)
+			}
+		}
+		if h.OnStealTier != nil {
+			prev := out.OnStealTier
+			out.OnStealTier = func(thief, victim, ntasks, tier int) {
+				if prev != nil {
+					prev(thief, victim, ntasks, tier)
+				}
+				h.OnStealTier(thief, victim, ntasks, tier)
+			}
+		}
+		if h.OnTask != nil {
+			prev := out.OnTask
+			out.OnTask = func(worker int, t Task) {
+				if prev != nil {
+					prev(worker, t)
+				}
+				h.OnTask(worker, t)
+			}
+		}
+	}
+	return out
 }
 
 // Run executes every task at most once across workers goroutines using
@@ -49,12 +94,27 @@ func RunHooked(ctx context.Context, workers int, tasks []Task, fn func(worker in
 		d := &deques[i%workers]
 		d.ts = append(d.ts, t)
 	}
+	// Victims swept cyclically from self+1; no locality grouping.
+	order := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		ord := make([]int, 0, workers-1)
+		for off := 1; off < workers; off++ {
+			ord = append(ord, (w+off)%workers)
+		}
+		order[w] = ord
+	}
+	return runLoop(ctx, deques, order, nil, int64(len(tasks)), fn, h)
+}
 
+// runLoop is the work-stealing engine shared by RunHooked and RunSharded:
+// deques are pre-seeded, order[w] is worker w's victim sweep sequence, and
+// groupOf (nil for ungrouped runs) classifies steals into locality tiers.
+func runLoop(ctx context.Context, deques []deque, order [][]int, groupOf []int, total int64, fn func(worker int, t Task) bool, h Hooks) error {
 	// unclaimed counts tasks not yet popped for execution. Steals move
 	// tasks between deques without changing it, so unclaimed == 0 means no
 	// deque will ever hold work again and idle workers may retire.
 	var unclaimed atomic.Int64
-	unclaimed.Store(int64(len(tasks)))
+	unclaimed.Store(total)
 
 	var stopped atomic.Bool
 	done := ctx.Done()
@@ -72,7 +132,7 @@ func RunHooked(ctx context.Context, workers int, tasks []Task, fn func(worker in
 	}
 
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := range deques {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -83,14 +143,23 @@ func RunHooked(ctx context.Context, workers int, tasks []Task, fn func(worker in
 					if unclaimed.Load() == 0 {
 						return
 					}
-					victim, n := steal(deques, w, self)
+					victim, n := steal(deques, order[w], self)
 					if n == 0 {
 						// Work exists but is in flight (being executed, or
 						// mid-transfer in a thief's hands); tasks never
 						// respawn, so yield and re-sweep.
 						runtime.Gosched()
-					} else if h.OnSteal != nil {
+						continue
+					}
+					if h.OnSteal != nil {
 						h.OnSteal(w, victim, n)
+					}
+					if h.OnStealTier != nil && groupOf != nil {
+						tier := StealLocal
+						if groupOf[w] != groupOf[victim] {
+							tier = StealCross
+						}
+						h.OnStealTier(w, victim, n, tier)
 					}
 					continue
 				}
@@ -110,13 +179,11 @@ func RunHooked(ctx context.Context, workers int, tasks []Task, fn func(worker in
 	return ctx.Err()
 }
 
-// steal sweeps the other deques from self+1 onward and moves the first
-// non-empty victim's back half into the thief's own deque, reporting the
-// victim index and the number of tasks taken (0 when every sweep came up
-// empty).
-func steal(deques []deque, self int, into *deque) (victim, n int) {
-	for off := 1; off < len(deques); off++ {
-		vi := (self + off) % len(deques)
+// steal sweeps the victim order and moves the first non-empty victim's back
+// half into the thief's own deque, reporting the victim index and the number
+// of tasks taken (0 when every sweep came up empty).
+func steal(deques []deque, order []int, into *deque) (victim, n int) {
+	for _, vi := range order {
 		v := &deques[vi]
 		if loot := v.stealTail(); len(loot) > 0 {
 			into.push(loot)

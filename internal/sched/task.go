@@ -37,7 +37,7 @@ func (t Task) Sliced() bool { return t.Hi >= 0 }
 // whose adjacency exceeds slice elements into ceil(degree/slice) sub-tasks
 // (the §IV task dispatch generalized with hub slicing). slice <= 0 yields
 // one whole-vertex task per vertex.
-func Expand(g *graph.Graph, slice int) []Task {
+func Expand(g graph.Store, slice int) []Task {
 	n := g.NumVertices()
 	if slice <= 0 {
 		tasks := make([]Task, n)
@@ -68,7 +68,7 @@ func Expand(g *graph.Graph, slice int) []Task {
 // schedule seed): dealt round-robin across worker deques, every worker
 // starts on a comparably heavy prefix and the cheap tail absorbs imbalance.
 // The sort is stable so sub-tasks of one hub keep their Lo order.
-func OrderByDegreeDesc(g *graph.Graph, tasks []Task) {
+func OrderByDegreeDesc(g graph.Store, tasks []Task) {
 	sort.SliceStable(tasks, func(i, j int) bool {
 		return g.Degree(tasks[i].V0) > g.Degree(tasks[j].V0)
 	})

@@ -135,10 +135,10 @@ func SimulateContext(ctx context.Context, g *graph.Graph, pl *plan.Plan, cfg Con
 	if err := pl.Validate(); err != nil {
 		return Result{}, err
 	}
-	if pl.RequiresDAG && !g.IsDAG {
+	if pl.RequiresDAG && !g.IsDAG() {
 		return Result{}, fmt.Errorf("sim: plan %q requires an oriented DAG input", pl.Patterns[0].Name())
 	}
-	if !pl.RequiresDAG && g.IsDAG {
+	if !pl.RequiresDAG && g.IsDAG() {
 		return Result{}, fmt.Errorf("sim: plan %q requires a symmetric graph, got a DAG", pl.Patterns[0].Name())
 	}
 	s := &simulator{
