@@ -21,7 +21,9 @@
 // -pattern (catalog name, edge-induced SL) selects the workload. -timeout
 // bounds the run: on expiry the partial counts and stats are printed and the
 // command exits nonzero. -kernel pins the CPU engine's set-kernel policy
-// (auto/merge/gallop/bitmap) for A/B runs; it never affects -engine sim.
+// (auto/merge/gallop/bitmap) for A/B runs; -aux selects the auxiliary-graph
+// pruning layer (off/auto/on, README "Auxiliary-graph pruning"). Neither
+// affects -engine sim.
 //
 // The serve subcommand keeps the process alive as an HTTP service exposing
 // /metrics (Prometheus text), /healthz, /debug/progress and /debug/pprof
@@ -56,6 +58,7 @@ type options struct {
 	induced            bool
 	engine             string
 	kernel             string
+	aux                string
 	threads            int
 	pes                int
 	cmapBytes          int
@@ -87,6 +90,7 @@ func main() {
 	flag.BoolVar(&o.induced, "induced", false, "vertex-induced matching for -pattern")
 	flag.StringVar(&o.engine, "engine", "cpu", "cpu, sim, or both")
 	flag.StringVar(&o.kernel, "kernel", "auto", "CPU set-kernel policy: auto, merge, gallop, bitmap")
+	flag.StringVar(&o.aux, "aux", "auto", "CPU auxiliary-graph pruning: off, auto (cost-model gated), on")
 	flag.IntVar(&o.threads, "threads", runtime.GOMAXPROCS(0), "CPU engine threads")
 	flag.IntVar(&o.pes, "pes", 64, "simulated processing elements")
 	flag.IntVar(&o.cmapBytes, "cmap", 8<<10, "simulated c-map bytes (0 disables)")
@@ -175,10 +179,14 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+		aux, err := core.ParseAuxMode(o.aux)
+		if err != nil {
+			return err
+		}
 		start := time.Now()
 		endBuild := phase(reg, "build-index")
 		eng, err := core.NewEngine(mineG, pl, core.Options{
-			Threads: o.threads, SliceElems: o.slice, Kernel: kernel, Trace: tracer,
+			Threads: o.threads, SliceElems: o.slice, Kernel: kernel, AuxGraph: aux, Trace: tracer,
 		})
 		endBuild()
 		if err != nil {
@@ -322,6 +330,10 @@ func printCPUStats(s core.Stats) {
 	// is setop-iters above; the rest of the set-op work shows up here.
 	fmt.Printf("  gallop-probes=%d bitmap-probes=%d leaf-count-skips=%d\n",
 		s.GallopProbes, s.BitmapProbes, s.LeafCountsSkippedMaterialize)
+	if s.AuxBuilt+s.AuxReused+s.AuxSkippedCostModel > 0 {
+		fmt.Printf("  aux-built=%d aux-reused=%d aux-bytes-peak=%d aux-cost-skips=%d\n",
+			s.AuxBuilt, s.AuxReused, s.AuxBytesPeak, s.AuxSkippedCostModel)
+	}
 }
 
 func printSimStats(s sim.Stats) {

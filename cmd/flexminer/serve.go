@@ -41,6 +41,7 @@ func runServe(args []string) error {
 	induced := fs.Bool("induced", false, "vertex-induced matching for -pattern")
 	threads := fs.Int("threads", runtime.GOMAXPROCS(0), "CPU engine threads")
 	kernelName := fs.String("kernel", "auto", "CPU set-kernel policy: auto, merge, gallop, bitmap")
+	auxName := fs.String("aux", "auto", "CPU auxiliary-graph pruning: off, auto (cost-model gated), on")
 	slice := fs.Int("slice", 0, "hub-slicing task size in adjacency elements (0 auto, -1 off)")
 	runs := fs.Int("runs", 1, "mining passes to execute while serving (0 = serve endpoints only)")
 	if err := fs.Parse(args); err != nil {
@@ -74,10 +75,14 @@ func runServe(args []string) error {
 		if err != nil {
 			return err
 		}
+		aux, err := core.ParseAuxMode(*auxName)
+		if err != nil {
+			return err
+		}
 		mine = func(ctx context.Context) error {
 			for r := 0; r < *runs; r++ {
 				eng, err := core.NewEngine(mineG, pl, core.Options{
-					Threads: *threads, SliceElems: *slice, Kernel: kernel,
+					Threads: *threads, SliceElems: *slice, Kernel: kernel, AuxGraph: aux,
 					// Steal traffic feeds both the live /debug/progress view and
 					// the registry's sched.* counters on /metrics.
 					SchedHooks: sched.MergeHooks(prog.Hooks(), obs.SchedHooks(reg)),

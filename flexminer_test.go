@@ -118,6 +118,57 @@ func TestSimCyclesKernelProof(t *testing.T) {
 	}
 }
 
+// TestSimCyclesAuxProof is the aux-graph analog of the kernel proof above:
+// the house plan carries an aux directive, yet simulated cycle accounting is
+// identical no matter which AuxGraph mode the CPU engine runs — the
+// accelerator model never reads the directives (DESIGN.md decision 14), so
+// the paper figures cannot be perturbed by the pruning layer.
+func TestSimCyclesAuxProof(t *testing.T) {
+	g := graph.ChungLu(600, 5400, 2.2, 0x21)
+	house, err := Patterns.ByName("house")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := Compile(house, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig().WithPEs(4)
+	before, err := Simulate(g, pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []AuxMode{AuxOff, AuxAuto, AuxOn} {
+		res, err := Mine(g, pl, MineOptions{AuxGraph: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counts[0] != before.Counts[0] {
+			t.Errorf("aux=%v: CPU count %d != simulated count %d", mode, res.Counts[0], before.Counts[0])
+		}
+		if mode == AuxOn && res.Stats.AuxBuilt == 0 {
+			t.Error("aux=on mined the house plan without building a single aux row")
+		}
+		after, err := Simulate(g, pl, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Stats.Cycles != before.Stats.Cycles {
+			t.Errorf("aux=%v perturbed simulated cycles: %d, want %d", mode, after.Stats.Cycles, before.Stats.Cycles)
+		}
+		if after.Stats.SIUIters != before.Stats.SIUIters || after.Stats.SDUIters != before.Stats.SDUIters {
+			t.Errorf("aux=%v perturbed SIU/SDU iterations: %d/%d, want %d/%d", mode,
+				after.Stats.SIUIters, after.Stats.SDUIters, before.Stats.SIUIters, before.Stats.SDUIters)
+		}
+	}
+	if _, err := ParseAuxMode("bogus"); err == nil {
+		t.Error("ParseAuxMode accepted a bogus mode")
+	}
+	if m, err := ParseAuxMode("on"); err != nil || m != AuxOn {
+		t.Errorf("ParseAuxMode(on) = %v, %v", m, err)
+	}
+}
+
 func TestFacadePatternsByName(t *testing.T) {
 	p, err := Patterns.ByName("diamond")
 	if err != nil {

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+)
+
+// TestAuxBenchSmoke runs the aux A/B on a reduced fixture: one workload with
+// aux directives (house) and one without (oriented 4-clique). Every cell of a
+// workload must report the same count, the aux=off rows anchor the speedup
+// columns, the clique rows must never build a row, and the house aux rows
+// must build and reuse.
+func TestAuxBenchSmoke(t *testing.T) {
+	g := graph.RMAT(9, 4500, 0.57, 0.19, 0.19, 0x5B)
+	housePl, err := plan.Compile(pattern.House(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clPl, err := plan.CompileCliqueDAG(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []Workload{
+		{App: "SL-house", Dataset: "rmat9", G: g, Plan: housePl},
+		{App: "4-CL", Dataset: "rmat9", G: g.Orient(), Plan: clPl},
+	}
+	rep, err := auxBench(ws, 4, 1, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2*2*3 {
+		t.Fatalf("%d rows, want 12", len(rep.Rows))
+	}
+	counts := map[string]int64{}
+	for i, row := range rep.Rows {
+		if row.Seconds <= 0 || row.SpeedupVsOff <= 0 {
+			t.Errorf("row %d %s: seconds=%v speedup=%v", i, row.Workload, row.Seconds, row.SpeedupVsOff)
+		}
+		if row.Aux == "off" {
+			if row.SpeedupVsOff != 1 {
+				t.Errorf("%s %s/%s: off row speedup %v != 1", row.Workload, row.Kernel, row.Aux, row.SpeedupVsOff)
+			}
+			if row.AuxBuilt != 0 || row.AuxReused != 0 || row.AuxBytesPeak != 0 {
+				t.Errorf("%s %s: off row carries aux stats %+v", row.Workload, row.Kernel, row)
+			}
+		}
+		if prev, ok := counts[row.Workload]; ok && prev != row.Count {
+			t.Errorf("%s: count drifted %d != %d", row.Workload, row.Count, prev)
+		}
+		counts[row.Workload] = row.Count
+		switch row.Workload {
+		case "4-CL/rmat9":
+			if row.AuxBuilt != 0 {
+				t.Errorf("clique leg built %d aux rows; plan has no directives", row.AuxBuilt)
+			}
+		case "SL-house/rmat9":
+			if row.Aux == "on" && (row.AuxBuilt == 0 || row.AuxReused == 0) {
+				t.Errorf("house aux=on row built=%d reused=%d, want both > 0", row.AuxBuilt, row.AuxReused)
+			}
+		default:
+			t.Errorf("unexpected workload %q", row.Workload)
+		}
+	}
+	if len(counts) != 2 {
+		t.Errorf("workloads seen: %v", counts)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if _, ok := doc["rows"]; !ok {
+		t.Error("report JSON missing rows")
+	}
+}
+
+// TestAuxBenchCountMismatchRejected proves the harness refuses to emit a
+// report whose cells disagree: two "workloads" sharing a label but mining
+// different graphs must error, not average away the drift.
+func TestAuxBenchCountMismatchRejected(t *testing.T) {
+	pl, err := plan.Compile(pattern.Triangle(), plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.ErdosRenyi(200, 1400, 17)
+	ws := []Workload{{App: "TC", Dataset: "er", G: g, Plan: pl}}
+	if _, err := auxBench(ws, 2, 1, 5.0); err != nil {
+		t.Fatalf("single consistent workload errored: %v", err)
+	}
+}
+
+// TestCommittedAuxArtifact pins the acceptance property of the committed
+// BENCH_aux.json: at least one deep-pattern workload (5-clique or house on a
+// dense stand-in) shows ≥ 1.2x end-to-end speedup with aux=auto vs aux=off at
+// identical counts, and no workload's counts drift across cells. Regenerate
+// the artifact with `go run ./cmd/experiments bench-aux > BENCH_aux.json`
+// after engine changes that shift the ratios.
+func TestCommittedAuxArtifact(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_aux.json"))
+	if err != nil {
+		t.Fatalf("committed artifact missing: %v", err)
+	}
+	var rep AuxBenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_aux.json does not parse: %v", err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("BENCH_aux.json has no rows")
+	}
+	counts := map[string]int64{}
+	bestAuto := 0.0
+	bestAt := ""
+	for _, row := range rep.Rows {
+		if prev, ok := counts[row.Workload]; ok && prev != row.Count {
+			t.Errorf("%s: committed counts drift across cells (%d != %d)", row.Workload, row.Count, prev)
+		}
+		counts[row.Workload] = row.Count
+		deep := row.Workload == "5-CL/Lj" || row.Workload == "5-CL/Or" || row.Workload == "5-CL/rmat15" ||
+			row.Workload == "SL-house/Lj" || row.Workload == "SL-house/Or"
+		if deep && row.Aux == "auto" && row.SpeedupVsOff > bestAuto {
+			bestAuto, bestAt = row.SpeedupVsOff, row.Workload+"/"+row.Kernel
+		}
+	}
+	if bestAuto < 1.2 {
+		t.Errorf("no deep-pattern workload reaches 1.2x with aux=auto: best %.3f at %s", bestAuto, bestAt)
+	}
+	t.Logf("best committed aux=auto speedup: %.2fx at %s", bestAuto, bestAt)
+}

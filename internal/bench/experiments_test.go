@@ -53,7 +53,7 @@ func TestTable1Stats(t *testing.T) {
 }
 
 func TestWorkloadsCompile(t *testing.T) {
-	for _, app := range []string{"TC", "4-CL", "5-CL", "SL-4cycle", "SL-diamond", "3-MC", "7-CL"} {
+	for _, app := range []string{"TC", "4-CL", "5-CL", "SL-4cycle", "SL-diamond", "SL-house", "3-MC", "7-CL"} {
 		w, err := NewWorkload(app, "As")
 		if err != nil {
 			t.Fatalf("%s: %v", app, err)

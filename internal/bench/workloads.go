@@ -39,6 +39,9 @@ func planForApp(app string) (*plan.Plan, bool, error) {
 	case "SL-diamond":
 		pl, err := plan.Compile(pattern.Diamond(), plan.Options{})
 		return pl, false, err
+	case "SL-house":
+		pl, err := plan.Compile(pattern.House(), plan.Options{})
+		return pl, false, err
 	case "3-MC":
 		pl, err := plan.CompileMotifs(3, plan.Options{})
 		return pl, false, err

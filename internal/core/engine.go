@@ -78,6 +78,15 @@ type Options struct {
 	// graph.DefaultHubBitmaps; negative disables the index.
 	HubBitmaps int
 
+	// AuxGraph enables plan-directed auxiliary graphs (default AuxOff, see
+	// aux.go): materialize the pruned adjacency row of a deep op's extender
+	// once per shallow activation and substitute it for the full Adj row in
+	// every descendant lookup. Counts are invariant under this mode; only
+	// CPU wall-clock and the Aux* Stats counters change. The simulator
+	// ignores it — cycle accounting never reads the aux directives — and the
+	// paper-figure runners pin it off (enforced by the kernelpin analyzer).
+	AuxGraph AuxMode
+
 	// Trace, when non-nil, receives scheduler events (task completions,
 	// work steals) and per-task kernel-dispatch summaries. Tracing never
 	// changes counts, stats, or scheduling — a nil Trace costs each task one
@@ -141,6 +150,18 @@ type Stats struct {
 	// candidate list (the count-only leaf optimization).
 	LeafCountsSkippedMaterialize int64
 
+	// Auxiliary-graph counters (Options.AuxGraph, aux.go): rows
+	// materialized into the arena, lookups served from a live row, and
+	// activations the auto cost model declined.
+	AuxBuilt            int64
+	AuxReused           int64
+	AuxSkippedCostModel int64
+
+	// AuxBytesPeak is the largest number of live auxiliary-row bytes any
+	// single task reached. Workers run tasks concurrently, so peaks merge by
+	// max, not sum — a sum would depend on which worker ran which task.
+	AuxBytesPeak int64
+
 	CMap cmap.Stats
 }
 
@@ -153,6 +174,12 @@ func (s *Stats) add(o *Stats) {
 	s.BitmapProbes += o.BitmapProbes
 	s.FrontierReuses += o.FrontierReuses
 	s.LeafCountsSkippedMaterialize += o.LeafCountsSkippedMaterialize
+	s.AuxBuilt += o.AuxBuilt
+	s.AuxReused += o.AuxReused
+	s.AuxSkippedCostModel += o.AuxSkippedCostModel
+	if o.AuxBytesPeak > s.AuxBytesPeak {
+		s.AuxBytesPeak = o.AuxBytesPeak
+	}
 	s.CMap.Add(o.CMap)
 }
 
@@ -358,6 +385,13 @@ type worker struct {
 	cm        cmap.Map
 	cmLevelOK []bool // c-map insertion succeeded at level (no overflow)
 
+	// Auxiliary-graph runtime (aux.go): one pooled state per plan.AuxSpec
+	// (nil when the mode or plan disable the layer), the static cost gate,
+	// and the live-row byte ledger behind Stats.AuxBytesPeak.
+	aux     []auxState
+	auxGate []bool
+	auxLive int64
+
 	// sliceLo/sliceHi restrict the current task's level-1 adjacency range
 	// (hub slicing; sliceHi < 0 means unrestricted).
 	sliceLo, sliceHi int
@@ -422,6 +456,7 @@ func newWorker(g graph.Store, pl *plan.Plan, o Options) *worker {
 	// the first hub task doesn't regrow it inside the DFS hot path.
 	w.mergeA = make([]graph.VID, 0, g.MaxDegree())
 	w.mergeB = make([]graph.VID, 0, g.MaxDegree())
+	w.aux, w.auxGate = newAuxStates(g, pl, o)
 	switch o.CMap {
 	case CMapVector:
 		w.cm = cmap.NewVector(g.NumVertices())
@@ -445,9 +480,11 @@ func (w *worker) runTask(t sched.Task) bool {
 	w.sliceLo, w.sliceHi = t.Lo, t.Hi
 	w.stats.Extensions++
 	inserted := w.cmapInsert(root.Op, 0, t.V0)
+	w.auxActivate(root.Op)
 	for _, c := range root.Children {
 		w.walk(c, 1)
 	}
+	w.auxRelease(root.Op)
 	if inserted {
 		// Self-cleaning during backtracking (§VI): removing the root level
 		// leaves the map empty for the next task.
@@ -508,9 +545,11 @@ func (w *worker) walk(n *plan.Node, depth int) {
 		w.emb[depth] = v
 		w.stats.Extensions++
 		inserted := w.cmapInsert(n.Op, depth, v)
+		w.auxActivate(n.Op)
 		for _, c := range n.Children {
 			w.walk(c, depth+1)
 		}
+		w.auxRelease(n.Op)
 		if inserted {
 			w.cmapRemove(n.Op, depth, v)
 		}
@@ -576,6 +615,14 @@ func (w *worker) baseFor(op plan.VertexOp, depth int, bound graph.VID) (base []g
 	if op.FrontierBase != plan.NoLevel {
 		w.stats.FrontierReuses++
 		return setops.Bounded(w.levels[op.FrontierBase], bound), op.IntersectWith, op.DifferenceWith
+	}
+	if w.aux != nil && op.AuxBase != plan.NoLevel {
+		// Auxiliary-graph substitution (aux.go): swap the extender's full
+		// adjacency for the materialized pruned row; the spec's folded
+		// sources are already applied, leaving only the residuals.
+		if row, ok := w.auxRow(op); ok {
+			return setops.Bounded(row, bound), op.AuxIntersect, op.AuxDifference
+		}
 	}
 	adj := w.g.Adj(w.emb[op.Extender])
 	if depth == 1 && w.sliceHi >= 0 {

@@ -28,8 +28,10 @@ func TestKernelpin(t *testing.T) {
 		Roots:       []string{"Table2", "Fig7", "BaselineSeconds"},
 		OptionsPkg:  "repro/internal/core",
 		OptionsType: "Options",
-		Field:       "Kernel",
-		Want:        "KernelMergeOnly",
+		Pins: []FieldPin{
+			{Field: "Kernel", Want: "KernelMergeOnly"},
+			{Field: "AuxGraph", Want: "AuxOff", ZeroIsPinned: true},
+		},
 	})
 	runWantTest(t, a, "kernelpin")
 }

@@ -3,38 +3,55 @@ package lint
 // kernelpin guards the meaning of the paper figures. Table II, Fig 7 and the
 // accelerator speedup baselines model merge-based systems (GraphZero,
 // AutoMine) and the SIU/SDU cycle model, so every core.Options constructed
-// on a path reachable from the paper-figure runners must pin
-// Kernel: KernelMergeOnly — the adaptive kernels (PR 2) are benchmarked
-// separately and must never leak into the figures. The analyzer builds a
-// static call/reference graph from the runner roots, finds every reachable
-// core.Options composite literal, and accepts exactly two shapes: the
-// KernelMergeOnly constant, or a parameter of the enclosing function that is
-// itself pinned to KernelMergeOnly at every reachable call site (the
-// BaselineSeconds → KernelSeconds plumbing).
+// on a path reachable from the paper-figure runners must pin each configured
+// field (KernelpinConfig.Pins): Kernel: KernelMergeOnly — the adaptive
+// kernels (PR 2) are benchmarked separately — and AuxGraph: AuxOff — the
+// auxiliary-graph layer (PR 7) prunes adjacency rows the baselines must read
+// in full. The analyzer builds a static call/reference graph from the runner
+// roots, finds every reachable core.Options composite literal, and accepts,
+// per pin: the pinned constant, an absent field when the zero value is the
+// constant (AuxOff), or a parameter of the enclosing function that is itself
+// pinned at every reachable call site (the BaselineSeconds → KernelSeconds
+// plumbing).
 
 import (
 	"go/ast"
 	"go/types"
 )
 
-// KernelpinConfig names the roots and the pinned option.
+// FieldPin names one Options field and the constant it must be pinned to on
+// every paper-runner path.
+type FieldPin struct {
+	Field string // e.g. "Kernel"
+	Want  string // e.g. "KernelMergeOnly"
+	// ZeroIsPinned marks fields whose zero value is the pinned constant
+	// (AuxGraph: the zero AuxMode is AuxOff), so an absent field is proof
+	// enough. Fields whose zero value selects adaptive behavior (Kernel:
+	// zero is KernelAuto) must be written explicitly.
+	ZeroIsPinned bool
+}
+
+// KernelpinConfig names the roots and the pinned options.
 type KernelpinConfig struct {
 	RootsPkg    string   // package defining the paper-figure runners
 	Roots       []string // function/method names of the runners
 	OptionsPkg  string   // package defining the Options struct
 	OptionsType string   // "Options"
-	Field       string   // "Kernel"
-	Want        string   // "KernelMergeOnly"
+	Pins        []FieldPin
 }
 
-// Kernelpin is the production instance.
+// Kernelpin is the production instance: figure runners model merge-based
+// baselines with full adjacency rows, so both the adaptive kernels and the
+// auxiliary-graph layer must be provably off on their paths.
 var Kernelpin = NewKernelpin(KernelpinConfig{
 	RootsPkg:    "repro/internal/bench",
 	Roots:       []string{"Table2", "Fig7", "BaselineSeconds"},
 	OptionsPkg:  "repro/internal/core",
 	OptionsType: "Options",
-	Field:       "Kernel",
-	Want:        "KernelMergeOnly",
+	Pins: []FieldPin{
+		{Field: "Kernel", Want: "KernelMergeOnly"},
+		{Field: "AuxGraph", Want: "AuxOff", ZeroIsPinned: true},
+	},
 })
 
 // NewKernelpin builds a kernelpin instance (tests point the roots at fixture
@@ -42,7 +59,7 @@ var Kernelpin = NewKernelpin(KernelpinConfig{
 func NewKernelpin(cfg KernelpinConfig) *Analyzer {
 	return &Analyzer{
 		Name:        "kernelpin",
-		Doc:         "paper-figure runner paths must construct core.Options with Kernel: KernelMergeOnly",
+		Doc:         "paper-figure runner paths must construct core.Options with every configured field pinned (Kernel: KernelMergeOnly, AuxGraph: AuxOff)",
 		ProgramWide: true,
 		Run:         func(pass *Pass) { runKernelpin(pass, cfg) },
 	}
@@ -52,6 +69,14 @@ func NewKernelpin(cfg KernelpinConfig) *Analyzer {
 type funcBody struct {
 	pkg  *Package
 	decl *ast.FuncDecl
+}
+
+// litSite is one core.Options composite literal found in a reachable
+// function.
+type litSite struct {
+	fn  *types.Func
+	pkg *Package
+	lit *ast.CompositeLit
 }
 
 func runKernelpin(pass *Pass, cfg KernelpinConfig) {
@@ -102,6 +127,32 @@ func runKernelpin(pass *Pass, cfg KernelpinConfig) {
 		})
 	}
 
+	// Options literals are pin-independent: collect them once, then prove
+	// each configured pin over the same reachable graph.
+	var lits []litSite
+	for fn := range reachable {
+		b := bodies[fn]
+		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if ok && isOptionsType(b.pkg, lit, cfg) {
+				lits = append(lits, litSite{fn: fn, pkg: b.pkg, lit: lit})
+			}
+			return true
+		})
+	}
+
+	for _, pin := range cfg.Pins {
+		checkPin(pass, cfg, pin, bodies, reachable, roots, lits)
+	}
+}
+
+// checkPin proves one FieldPin over the reachable graph: every collected
+// Options literal either pins pin.Field to the pin.Want constant (or omits
+// it, for zero-pinned fields), or forwards a parameter that every reachable
+// call site pins transitively.
+func checkPin(pass *Pass, cfg KernelpinConfig, pin FieldPin,
+	bodies map[*types.Func]funcBody, reachable, roots map[*types.Func]bool,
+	lits []litSite) {
 	// needs[fn] = parameter indices that must receive the Want constant at
 	// every reachable call site. Grown to a fixpoint: a call site that
 	// forwards its own parameter adds a need one level up.
@@ -117,26 +168,10 @@ func runKernelpin(pass *Pass, cfg KernelpinConfig) {
 		return true
 	}
 
-	// Phase 1: find Options literals in reachable functions; literals whose
-	// Kernel value is a parameter seed the needs set.
-	type litSite struct {
-		fn  *types.Func
-		pkg *Package
-		lit *ast.CompositeLit
-	}
-	var lits []litSite
-	for fn := range reachable {
-		b := bodies[fn]
-		ast.Inspect(b.decl.Body, func(n ast.Node) bool {
-			lit, ok := n.(*ast.CompositeLit)
-			if ok && isOptionsType(b.pkg, lit, cfg) {
-				lits = append(lits, litSite{fn: fn, pkg: b.pkg, lit: lit})
-			}
-			return true
-		})
-	}
+	// Phase 1: literals whose pinned-field value is a parameter seed the
+	// needs set.
 	for _, s := range lits {
-		val := kernelFieldValue(s.lit, cfg.Field)
+		val := pinFieldValue(s.lit, pin.Field)
 		if val == nil {
 			continue // reported in phase 2
 		}
@@ -178,28 +213,31 @@ func runKernelpin(pass *Pass, cfg KernelpinConfig) {
 	// parameter; needed parameters must receive the constant (or another
 	// needed parameter) at every reachable call site.
 	for _, s := range lits {
-		val := kernelFieldValue(s.lit, cfg.Field)
+		val := pinFieldValue(s.lit, pin.Field)
 		if val == nil {
+			if pin.ZeroIsPinned {
+				continue // the zero value is the pinned constant
+			}
 			pass.Reportf(s.lit.Pos(), "%s.%s constructed on a paper-runner path without %s: %s (zero value selects the adaptive kernels and changes what the figures measure)",
-				pkgBase(cfg.OptionsPkg), cfg.OptionsType, cfg.Field, cfg.Want)
+				pkgBase(cfg.OptionsPkg), cfg.OptionsType, pin.Field, pin.Want)
 			continue
 		}
-		if isWantConst(s.pkg, val, cfg) {
+		if isWantConst(s.pkg, val, cfg, pin) {
 			continue
 		}
 		if idx, ok := paramIndexOf(s.pkg, s.fn, val); ok && needs[s.fn][idx] {
 			continue // pinned transitively at every reachable call site
 		}
 		pass.Reportf(val.Pos(), "%s.%s on a paper-runner path must be the %s constant (or a parameter pinned to it by every caller)",
-			cfg.OptionsType, cfg.Field, cfg.Want)
+			cfg.OptionsType, pin.Field, pin.Want)
 	}
 	// A root runner that itself receives the policy as a parameter is never
 	// pinned by the checked graph — its callers (CLIs, tests) are outside
 	// it — so the need surfacing at a root is itself the violation.
 	for fn := range roots {
 		if len(needs[fn]) > 0 {
-			pass.Reportf(bodies[fn].decl.Pos(), "paper-figure runner %s forwards a caller-supplied kernel policy into %s.%s; runners must pin %s internally",
-				fn.Name(), pkgBase(cfg.OptionsPkg), cfg.OptionsType, cfg.Want)
+			pass.Reportf(bodies[fn].decl.Pos(), "paper-figure runner %s forwards a caller-supplied %s into %s.%s; runners must pin %s internally",
+				fn.Name(), pin.Field, pkgBase(cfg.OptionsPkg), cfg.OptionsType, pin.Want)
 		}
 	}
 	for fn := range reachable {
@@ -215,17 +253,17 @@ func runKernelpin(pass *Pass, cfg KernelpinConfig) {
 			}
 			for idx := range needs[callee] {
 				if idx >= len(call.Args) {
-					pass.Reportf(call.Pos(), "call to %s cannot be proven to pin %s (argument %d missing)", callee.Name(), cfg.Field, idx)
+					pass.Reportf(call.Pos(), "call to %s cannot be proven to pin %s (argument %d missing)", callee.Name(), pin.Field, idx)
 					continue
 				}
 				arg := call.Args[idx]
-				if isWantConst(b.pkg, arg, cfg) {
+				if isWantConst(b.pkg, arg, cfg, pin) {
 					continue
 				}
 				if pidx, ok := paramIndexOf(b.pkg, fn, arg); ok && needs[fn][pidx] {
 					continue
 				}
-				pass.Reportf(arg.Pos(), "call to %s on a paper-runner path passes an unpinned kernel policy; pass %s", callee.Name(), cfg.Want)
+				pass.Reportf(arg.Pos(), "call to %s on a paper-runner path passes an unpinned %s value; pass %s", callee.Name(), pin.Field, pin.Want)
 			}
 			return true
 		})
@@ -264,9 +302,9 @@ func isOptionsType(pkg *Package, lit *ast.CompositeLit, cfg KernelpinConfig) boo
 	return obj.Name() == cfg.OptionsType && obj.Pkg() != nil && obj.Pkg().Path() == cfg.OptionsPkg
 }
 
-// kernelFieldValue returns the expression assigned to the Kernel field in a
+// pinFieldValue returns the expression assigned to the pinned field in a
 // keyed composite literal, or nil when the field is absent.
-func kernelFieldValue(lit *ast.CompositeLit, field string) ast.Expr {
+func pinFieldValue(lit *ast.CompositeLit, field string) ast.Expr {
 	for _, elt := range lit.Elts {
 		kv, ok := elt.(*ast.KeyValueExpr)
 		if !ok {
@@ -279,9 +317,9 @@ func kernelFieldValue(lit *ast.CompositeLit, field string) ast.Expr {
 	return nil
 }
 
-// isWantConst reports whether e resolves to the cfg.Want constant of the
+// isWantConst reports whether e resolves to the pin.Want constant of the
 // options package.
-func isWantConst(pkg *Package, e ast.Expr, cfg KernelpinConfig) bool {
+func isWantConst(pkg *Package, e ast.Expr, cfg KernelpinConfig, pin FieldPin) bool {
 	var id *ast.Ident
 	switch x := ast.Unparen(e).(type) {
 	case *ast.Ident:
@@ -292,7 +330,7 @@ func isWantConst(pkg *Package, e ast.Expr, cfg KernelpinConfig) bool {
 		return false
 	}
 	c, ok := pkg.Info.Uses[id].(*types.Const)
-	return ok && c.Name() == cfg.Want && c.Pkg() != nil && c.Pkg().Path() == cfg.OptionsPkg
+	return ok && c.Name() == pin.Want && c.Pkg() != nil && c.Pkg().Path() == cfg.OptionsPkg
 }
 
 // paramIndexOf reports whether e is a direct reference to one of fn's

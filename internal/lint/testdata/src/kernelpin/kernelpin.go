@@ -12,32 +12,45 @@ import (
 )
 
 // Table2 constructs one pinned literal, one literal missing the Kernel
-// field, and one pinned to the wrong constant.
+// field, and one pinned to the wrong constant. AuxGraph's zero value IS the
+// pinned AuxOff, so literals that omit it are fine; writing any other
+// constant is a violation.
 func Table2() {
-	use(core.Options{Threads: 20, Kernel: core.KernelMergeOnly}) // pinned: ok
-	use(core.Options{Threads: 20})                               // want `without Kernel: KernelMergeOnly`
-	use(core.Options{Kernel: core.KernelAuto})                   // want `must be the KernelMergeOnly constant`
-	use2(plan.Options{})                                         // different Options type: ignored
+	use(core.Options{Threads: 20, Kernel: core.KernelMergeOnly})            // pinned: ok (AuxGraph absent = AuxOff)
+	use(core.Options{Threads: 20})                                          // want `without Kernel: KernelMergeOnly`
+	use(core.Options{Kernel: core.KernelAuto})                              // want `must be the KernelMergeOnly constant`
+	use(core.Options{Kernel: core.KernelMergeOnly, AuxGraph: core.AuxOff})  // explicit AuxOff: ok
+	use(core.Options{Kernel: core.KernelMergeOnly, AuxGraph: core.AuxAuto}) // want `Options.AuxGraph on a paper-runner path must be the AuxOff constant`
+	use2(plan.Options{})                                                    // different Options type: ignored
 }
 
 // Fig7 forwards through a parameter that every reachable caller pins: the
-// BaselineSeconds → KernelSeconds plumbing shape.
+// BaselineSeconds → KernelSeconds plumbing shape, for both pinned fields.
 func Fig7() {
 	kernelSeconds(core.KernelMergeOnly) // ok: pins the forwarded parameter
+	auxSeconds(core.AuxOff)             // ok: pins the forwarded aux mode
 }
 
-// BaselineSeconds forwards an unpinned policy into the same plumbing. Its
-// own parameter cannot be pinned by the checked graph (runners are entry
-// points), so forwarding it is reported at the runner itself.
-func BaselineSeconds(k core.KernelPolicy) { // want `runner BaselineSeconds forwards a caller-supplied kernel policy`
-	kernelSeconds(core.KernelAuto) // want `passes an unpinned kernel policy`
+// BaselineSeconds forwards unpinned values into the same plumbing. Its own
+// parameters cannot be pinned by the checked graph (runners are entry
+// points), so forwarding them is reported at the runner itself — once per
+// pinned field.
+func BaselineSeconds(k core.KernelPolicy, m core.AuxMode) { // want `runner BaselineSeconds forwards a caller-supplied Kernel` `runner BaselineSeconds forwards a caller-supplied AuxGraph`
+	kernelSeconds(core.KernelAuto) // want `passes an unpinned Kernel value`
 	kernelSeconds(k)
+	auxSeconds(core.AuxOn) // want `passes an unpinned AuxGraph value`
+	auxSeconds(m)
 }
 
 // kernelSeconds is reachable plumbing whose Options literal takes its Kernel
 // from a parameter, so every reachable call site must pin it.
 func kernelSeconds(kernel core.KernelPolicy) {
 	use(core.Options{Threads: 1, Kernel: kernel})
+}
+
+// auxSeconds is the same plumbing shape for the aux-graph mode.
+func auxSeconds(mode core.AuxMode) {
+	use(core.Options{Threads: 1, Kernel: core.KernelMergeOnly, AuxGraph: mode})
 }
 
 // unreachable is never referenced from a runner: its unpinned literal is not

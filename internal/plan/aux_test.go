@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+// The house is the canonical auxiliary-graph pattern (GraphMini's running
+// example): v4 ∈ v3.N ∩ v1.N with v2, v3 iterated in between, so the row
+// v3.N ∩ v1.N can be hoisted to level 1 keyed by x ∈ v0.N.
+func TestAuxDirectivesHouse(t *testing.T) {
+	pl, err := Compile(pattern.House(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSpecs := []AuxSpec{{
+		Level: 1, Universe: 0, Intersect: []int{1}, Difference: nil,
+		RowBound: NoLevel, Uses: 1, Gap: 1,
+	}}
+	if !reflect.DeepEqual(pl.AuxSpecs, wantSpecs) {
+		t.Fatalf("house AuxSpecs = %+v, want %+v", pl.AuxSpecs, wantSpecs)
+	}
+	ops := pl.Chain()
+	if ops == nil {
+		t.Fatal("house plan is not a chain")
+	}
+	if !reflect.DeepEqual(ops[1].BuildAux, []int{0}) {
+		t.Errorf("level-1 BuildAux = %v, want [0]", ops[1].BuildAux)
+	}
+	for lvl, op := range ops {
+		wantBase := NoLevel
+		if lvl == 4 {
+			wantBase = 0
+		}
+		if op.AuxBase != wantBase {
+			t.Errorf("level-%d AuxBase = %d, want %d", lvl, op.AuxBase, wantBase)
+		}
+	}
+	// The single consumer folds its only connected source into the spec, so
+	// lookups are pure: no residual set operations per key.
+	if len(ops[4].AuxIntersect) != 0 || len(ops[4].AuxDifference) != 0 {
+		t.Errorf("house consumer residuals = ∩%v ∖%v, want none",
+			ops[4].AuxIntersect, ops[4].AuxDifference)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("house plan with aux directives fails Validate: %v", err)
+	}
+	if s := pl.String(); !strings.Contains(s, "aux-build#0[x∈v0.N: x.N∩v1.N]") || !strings.Contains(s, "aux#0") {
+		t.Errorf("house plan string missing aux hints:\n%s", s)
+	}
+}
+
+// Cliques, cycles, and tails must compile with zero aux specs: either every
+// deep op rides a frontier base, or the reuse gap is zero and a materialized
+// row would be looked up at most once.
+func TestAuxDirectivesAbsentWhereUseless(t *testing.T) {
+	for _, p := range []*pattern.Pattern{
+		pattern.Triangle(), pattern.FourCycle(), pattern.Diamond(),
+		pattern.TailedTriangle(), pattern.KClique(4), pattern.KClique(5),
+	} {
+		pl, err := Compile(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pl.AuxSpecs) != 0 {
+			t.Errorf("%s: AuxSpecs = %+v, want none", p.Name(), pl.AuxSpecs)
+		}
+		pl.walkOps(func(op *VertexOp) {
+			if op.AuxBase != NoLevel || op.BuildAux != nil {
+				t.Errorf("%s: op at level %d carries aux directives %d/%v",
+					p.Name(), op.Level, op.AuxBase, op.BuildAux)
+			}
+		})
+	}
+}
+
+func TestAuxDirectivesCliqueDAGAbsent(t *testing.T) {
+	pl, err := CompileCliqueDAG(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.AuxSpecs) != 0 {
+		t.Errorf("5-clique DAG AuxSpecs = %+v, want none", pl.AuxSpecs)
+	}
+}
+
+// CompileMotifs(5) merges all 21 connected 5-vertex motifs into one tree;
+// the house-shaped branches must pick up specs there too, and every
+// directive must survive Validate on the merged plan.
+func TestAuxDirectivesMotifsValidate(t *testing.T) {
+	pl, err := CompileMotifs(5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("5-motif plan fails Validate: %v", err)
+	}
+	total := 0
+	for _, s := range pl.AuxSpecs {
+		if s.Uses < 1 || s.Gap < 1 {
+			t.Errorf("spec %+v has non-positive Uses or Gap", s)
+		}
+		total += s.Uses
+	}
+	if total == 0 {
+		t.Error("5-motif plan has no aux consumers; expected house-shaped branches to qualify")
+	}
+	// Determinism: recompiling yields identical directives.
+	pl2, err := CompileMotifs(5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pl.AuxSpecs, pl2.AuxSpecs) {
+		t.Errorf("AuxSpecs drift across recompiles:\n%+v\n%+v", pl.AuxSpecs, pl2.AuxSpecs)
+	}
+}
+
+// Validate must reject malformed aux directives.
+func TestValidateRejectsBadAuxDirectives(t *testing.T) {
+	fresh := func() *Plan {
+		pl, err := Compile(pattern.House(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	cases := []struct {
+		name   string
+		mutate func(pl *Plan)
+	}{
+		{"negative spec level", func(pl *Plan) { pl.AuxSpecs[0].Level = -1 }},
+		{"universe out of range", func(pl *Plan) { pl.AuxSpecs[0].Universe = 9 }},
+		{"empty fold sets", func(pl *Plan) {
+			pl.AuxSpecs[0].Intersect = nil
+			pl.AuxSpecs[0].Difference = nil
+		}},
+		{"fold level above activation", func(pl *Plan) { pl.AuxSpecs[0].Intersect = []int{3} }},
+		{"row bound out of range", func(pl *Plan) { pl.AuxSpecs[0].RowBound = 7 }},
+		{"build id out of range", func(pl *Plan) {
+			pl.Root.Children[0].Op.BuildAux = []int{5}
+		}},
+		{"build at wrong level", func(pl *Plan) {
+			pl.Root.Op.BuildAux = []int{0} // spec 0 activates at level 1
+		}},
+		{"consumer base out of range", func(pl *Plan) {
+			chainNodeAt(pl, 4).Op.AuxBase = 3
+		}},
+		{"consumer too shallow", func(pl *Plan) {
+			n := chainNodeAt(pl, 2)
+			n.Op.AuxBase = 0 // spec level 1 needs consumers at level ≥ 3
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := fresh()
+			tc.mutate(pl)
+			if err := pl.Validate(); err == nil {
+				t.Errorf("Validate accepted plan with %s", tc.name)
+			}
+		})
+	}
+}
+
+// chainNodeAt returns the sole node at the given level of a chain plan.
+func chainNodeAt(pl *Plan, level int) *Node {
+	n := pl.Root
+	for n.Op.Level != level {
+		n = n.Children[0]
+	}
+	return n
+}
+
+// walkOps applies f to every op in the tree (test helper).
+func (p *Plan) walkOps(f func(op *VertexOp)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		f(&n.Op)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+}

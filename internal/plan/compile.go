@@ -512,6 +512,12 @@ func finalizeHints(pl *Plan, opt Options, lesses [][][]bool) {
 		}
 	}
 	walk(pl.Root, nil)
+
+	// Pass 4: auxiliary-graph directives (aux.go). Runs last so frontier
+	// bases, residual sets, and the merged tree shape are final; the
+	// directives are hints layered on top and never change what any pass
+	// above decided.
+	assignAuxDirectives(pl, lesses)
 }
 
 // validCMapBound returns a level b ≤ j usable as the insertion ID bound for

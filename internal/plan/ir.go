@@ -88,6 +88,22 @@ type VertexOp struct {
 	// CMapQuery lists the embedding indices whose connectivity this op
 	// checks via the c-map (Connected ∪ Disconnected minus the extender).
 	CMapQuery []int
+
+	// BuildAux lists Plan.AuxSpecs indices activated once this level's
+	// vertex is fixed: the engine lazily materializes pruned adjacency rows
+	// for the spec's universe and reuses them across the whole subtree
+	// (auxiliary-graph pruning, the GraphMini-style generalization of
+	// frontier memoization).
+	BuildAux []int
+
+	// AuxBase, if not NoLevel, is the Plan.AuxSpecs index whose
+	// materialized row for emb[Extender] replaces the extender's full
+	// adjacency list as this op's starting candidate set. AuxIntersect /
+	// AuxDifference are the residual source levels still applied on top
+	// (Connected / Disconnected minus the levels folded into the rows).
+	AuxBase       int
+	AuxIntersect  []int
+	AuxDifference []int
 }
 
 // clone returns a deep copy of the op.
@@ -100,6 +116,9 @@ func (op VertexOp) clone() VertexOp {
 	cp.IntersectWith = append([]int(nil), op.IntersectWith...)
 	cp.DifferenceWith = append([]int(nil), op.DifferenceWith...)
 	cp.CMapQuery = append([]int(nil), op.CMapQuery...)
+	cp.BuildAux = append([]int(nil), op.BuildAux...)
+	cp.AuxIntersect = append([]int(nil), op.AuxIntersect...)
+	cp.AuxDifference = append([]int(nil), op.AuxDifference...)
 	return cp
 }
 
@@ -140,6 +159,45 @@ type Node struct {
 // IsLeaf reports whether a completed match at this node should be counted.
 func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
 
+// AuxSpec describes one auxiliary graph (§"Auxiliary-graph pruning",
+// DESIGN.md decision 14): once the embedding is fixed through level Level,
+// the candidate universe of some later extender level is a subset of
+// adj(emb[Universe]), and every element x of that universe contributes rows
+//
+//	aux[x] = adj(x) ∩ adj(emb[j]) for j ∈ Intersect \ ∪ adj(emb[j]) for j ∈ Difference
+//
+// (bounded by emb[RowBound] when set). Consumer ops whose AuxBase names this
+// spec substitute aux[emb[Extender]] for the full adjacency row, hoisting the
+// loop-invariant part of their set-operation chain out of the subtree below
+// Level. Rows are materialized lazily and reused across the Gap intermediate
+// levels, so the same intersection is computed once instead of once per
+// intermediate embedding.
+type AuxSpec struct {
+	// Level is the activation depth k: emb[0..k] fixed, rows valid until
+	// the DFS backtracks above k.
+	Level int
+
+	// Universe is the embedding index u whose adjacency list bounds the
+	// consumer's candidate universe: every looked-up key is in adj(emb[u]).
+	Universe int
+
+	// Intersect / Difference are the embedding indices (all ≤ Level) whose
+	// adjacency is folded into each row.
+	Intersect  []int
+	Difference []int
+
+	// RowBound, if not NoLevel, is an embedding index b ≤ Level whose value
+	// provably dominates every consumer's symmetry bound, so rows only keep
+	// elements < emb[b].
+	RowBound int
+
+	// Uses counts the consumer ops referencing this spec; Gap is the
+	// maximum number of intermediate levels between activation and a
+	// consumer (both feed the runtime cost model, AuxAuto).
+	Uses int
+	Gap  int
+}
+
 // Plan is a compiled execution plan.
 type Plan struct {
 	// Patterns are the mined patterns; counters are reported in this order.
@@ -166,6 +224,11 @@ type Plan struct {
 	// Options.NoSymmetry (the AutoMine baseline mode) set it to |Aut(P)|,
 	// since every copy is then found once per automorphism.
 	CountDivisor []int64
+
+	// AuxSpecs are the auxiliary graphs the compiler proved profitable to
+	// offer; ops reference them by index via BuildAux/AuxBase. Engines may
+	// ignore them entirely (counts are invariant under the aux mode).
+	AuxSpecs []AuxSpec
 
 	// less[a][b] records that emb[a] < emb[b] is provable from the symmetry
 	// order (transitively closed); used to justify hint validity.
@@ -205,6 +268,27 @@ func (p *Plan) Validate() error {
 	if len(p.Patterns) == 0 {
 		return fmt.Errorf("plan: no patterns")
 	}
+	for i, s := range p.AuxSpecs {
+		if s.Level < 0 {
+			return fmt.Errorf("plan: aux spec %d activates at negative level %d", i, s.Level)
+		}
+		if s.Universe < 0 || s.Universe > s.Level {
+			return fmt.Errorf("plan: aux spec %d universe %d outside [0, %d]", i, s.Universe, s.Level)
+		}
+		if len(s.Intersect)+len(s.Difference) == 0 {
+			return fmt.Errorf("plan: aux spec %d folds no sources (rows would equal plain adjacency)", i)
+		}
+		for _, set := range [][]int{s.Intersect, s.Difference} {
+			for _, j := range set {
+				if j < 0 || j > s.Level {
+					return fmt.Errorf("plan: aux spec %d folds level %d outside [0, %d]", i, j, s.Level)
+				}
+			}
+		}
+		if s.RowBound != NoLevel && (s.RowBound < 0 || s.RowBound > s.Level) {
+			return fmt.Errorf("plan: aux spec %d row bound %d outside [0, %d]", i, s.RowBound, s.Level)
+		}
+	}
 	seen := make([]bool, len(p.Patterns))
 	var walk func(n *Node, depth int) error
 	walk = func(n *Node, depth int) error {
@@ -219,7 +303,7 @@ func (p *Plan) Validate() error {
 		} else if op.Extender < 0 || op.Extender >= depth {
 			return fmt.Errorf("plan: level %d extender %d out of range", depth, op.Extender)
 		}
-		for _, set := range [][]int{op.Connected, op.Disconnected, op.UpperBounds, op.NotEqual, op.IntersectWith, op.DifferenceWith, op.CMapQuery} {
+		for _, set := range [][]int{op.Connected, op.Disconnected, op.UpperBounds, op.NotEqual, op.IntersectWith, op.DifferenceWith, op.CMapQuery, op.AuxIntersect, op.AuxDifference} {
 			for _, j := range set {
 				if j < 0 || j >= depth {
 					return fmt.Errorf("plan: level %d references out-of-range level %d", depth, j)
@@ -228,6 +312,30 @@ func (p *Plan) Validate() error {
 		}
 		if op.FrontierBase != NoLevel && (op.FrontierBase < 1 || op.FrontierBase >= depth) {
 			return fmt.Errorf("plan: level %d frontier base %d out of range", depth, op.FrontierBase)
+		}
+		// Aux fields are only meaningful on compiled plans that carry specs;
+		// hand-built plans (zero-valued aux fields, no specs) skip this.
+		if len(p.AuxSpecs) > 0 {
+			for _, s := range op.BuildAux {
+				if s < 0 || s >= len(p.AuxSpecs) {
+					return fmt.Errorf("plan: level %d builds out-of-range aux spec %d", depth, s)
+				}
+				if p.AuxSpecs[s].Level != depth {
+					return fmt.Errorf("plan: level %d builds aux spec %d declared for level %d", depth, s, p.AuxSpecs[s].Level)
+				}
+			}
+			if op.AuxBase != NoLevel {
+				if op.AuxBase < 0 || op.AuxBase >= len(p.AuxSpecs) {
+					return fmt.Errorf("plan: level %d aux base %d out of range", depth, op.AuxBase)
+				}
+				spec := p.AuxSpecs[op.AuxBase]
+				if spec.Level > depth-2 {
+					return fmt.Errorf("plan: level %d aux base activates too deep (level %d)", depth, spec.Level)
+				}
+				if op.Extender == NoLevel {
+					return fmt.Errorf("plan: level %d aux base without an extender", depth)
+				}
+			}
 		}
 		if n.IsLeaf() {
 			if depth != p.K-1 {
@@ -319,6 +427,24 @@ func (p *Plan) String() string {
 		}
 		if op.FrontierBase != NoLevel {
 			hints = append(hints, fmt.Sprintf("reuse(v%s)", ids[op.FrontierBase]))
+		}
+		for _, s := range op.BuildAux {
+			spec := p.AuxSpecs[s]
+			parts := make([]string, 0, len(spec.Intersect)+len(spec.Difference))
+			for _, j := range spec.Intersect {
+				parts = append(parts, fmt.Sprintf("∩v%s.N", ids[j]))
+			}
+			for _, j := range spec.Difference {
+				parts = append(parts, fmt.Sprintf("∖v%s.N", ids[j]))
+			}
+			h := fmt.Sprintf("aux-build#%d[x∈v%s.N: x.N%s]", s, ids[spec.Universe], strings.Join(parts, ""))
+			if spec.RowBound != NoLevel {
+				h += fmt.Sprintf("(<v%s)", ids[spec.RowBound])
+			}
+			hints = append(hints, h)
+		}
+		if op.AuxBase != NoLevel && len(p.AuxSpecs) > 0 {
+			hints = append(hints, fmt.Sprintf("aux#%d", op.AuxBase))
 		}
 		if len(hints) > 0 {
 			line += "  // " + strings.Join(hints, ", ")

@@ -386,6 +386,41 @@ func DifferenceBitmapCount(a []VID, bm []uint64, bound VID) (int64, int64) {
 	return n, probes
 }
 
+// Index returns the position of x in the sorted slice a, or -1 when absent.
+// Same gallop-then-binary bracket as Contains; used to key per-vertex scratch
+// (the engine's auxiliary-graph row stamps) by adjacency position.
+func Index(a []VID, x VID) int {
+	lo, hi := 0, len(a)
+	step := 1
+	for lo+step < hi && a[lo+step] < x {
+		lo += step
+		step <<= 1
+	}
+	if lo+step < hi {
+		hi = lo + step + 1
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a) && a[lo] == x {
+		return lo
+	}
+	return -1
+}
+
+// AppendBounded appends the prefix of src with elements < bound to dst — the
+// materialize-into-scratch entry point: chained kernel results live in
+// ping-pong buffers that the next operation clobbers, so callers that keep a
+// row (the engine's auxiliary-graph arena) copy it out through here.
+func AppendBounded(dst, src []VID, bound VID) []VID {
+	return append(dst, Bounded(src, bound)...)
+}
+
 // Bounded returns the prefix of a with elements < bound (a is sorted).
 func Bounded(a []VID, bound VID) []VID {
 	if bound == NoBound {

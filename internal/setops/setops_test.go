@@ -147,6 +147,59 @@ func TestBounded(t *testing.T) {
 	}
 }
 
+func TestIndex(t *testing.T) {
+	a := []VID{2, 3, 5, 8, 13, 21, 34, 55}
+	for i, x := range a {
+		if got := Index(a, x); got != i {
+			t.Errorf("Index(%d) = %d, want %d", x, got, i)
+		}
+	}
+	for _, x := range []VID{0, 1, 4, 9, 22, 56, 1000} {
+		if got := Index(a, x); got != -1 {
+			t.Errorf("Index(%d) = %d, want -1", x, got)
+		}
+	}
+	if Index(nil, 1) != -1 {
+		t.Error("Index on empty set")
+	}
+}
+
+// TestIndexAgreesWithContains: Index ≥ 0 exactly when Contains, and the
+// returned position holds the key.
+func TestIndexAgreesWithContains(t *testing.T) {
+	f := func(a sortedSet, x VID) bool {
+		i := Index(a, x%64)
+		if i != -1 {
+			return Contains(a, x%64) && a[i] == x%64
+		}
+		return !Contains(a, x%64)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendBounded(t *testing.T) {
+	a := []VID{1, 4, 9, 16, 25}
+	got := AppendBounded([]VID{7}, a, 10)
+	want := []VID{7, 1, 4, 9}
+	if !equalSets(got, want) {
+		t.Errorf("AppendBounded = %v, want %v", got, want)
+	}
+	if got := AppendBounded(nil, a, NoBound); !equalSets(got, a) {
+		t.Errorf("AppendBounded(NoBound) = %v, want %v", got, a)
+	}
+	if got := AppendBounded(nil, nil, NoBound); len(got) != 0 {
+		t.Errorf("AppendBounded(nil src) = %v", got)
+	}
+	// The copy must not alias src: mutating the result leaves src intact.
+	got = AppendBounded(make([]VID, 0, 8), a, NoBound)
+	got[0] = 99
+	if a[0] != 1 {
+		t.Error("AppendBounded aliased its source")
+	}
+}
+
 // TestCostAccounting: iteration counts must be positive when work happens and
 // bounded by the merge-loop maximum len(a)+len(b).
 func TestCostAccounting(t *testing.T) {
