@@ -41,6 +41,44 @@ func TestRunFlagsSeededViolations(t *testing.T) {
 	}
 }
 
+// TestRunFlagsNoallocViolations drives the CLI against the noalloc fixture:
+// the production prover (annotation-driven, unscoped) must flag its seeded
+// allocations with a non-zero exit.
+func TestRunFlagsNoallocViolations(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run(root, []string{"./internal/lint/testdata/src/noalloc"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"noalloc:",
+		"make allocates",
+		"append grows a slice",
+		"neither //flexlint:noalloc nor allowlisted",
+		"boxes it",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFlagsAtomicViolations drives the CLI against the atomichygiene
+// fixture: mixed atomic/plain access must fail the run.
+func TestRunFlagsAtomicViolations(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run(root, []string{"./internal/lint/testdata/src/atomichygiene"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "accessed via sync/atomic elsewhere") {
+		t.Errorf("stdout missing atomichygiene diagnostic:\n%s", stdout.String())
+	}
+}
+
 // TestRunCleanPackage asserts exit 0 and silence on a clean package.
 func TestRunCleanPackage(t *testing.T) {
 	root := moduleRoot(t)

@@ -121,6 +121,8 @@ func newAuxStates(g graph.Store, pl *plan.Plan, o Options) ([]auxState, []bool) 
 // AuxAuto an activation whose fold operand is empty is skipped — the rows
 // would be plain copies (difference against nothing) or trivially empty, and
 // the normal per-step path handles both for free.
+//
+//flexlint:noalloc
 func (w *worker) auxActivate(op plan.VertexOp) {
 	if w.aux == nil || len(op.BuildAux) == 0 {
 		return
@@ -157,6 +159,8 @@ func (w *worker) auxActivate(op plan.VertexOp) {
 // auxRelease closes the activation scopes opened by auxActivate. Paired with
 // it on every path — including cancellation unwinds — so live-byte accounting
 // returns to zero between tasks and nothing leaks across them.
+//
+//flexlint:noalloc
 func (w *worker) auxRelease(op plan.VertexOp) {
 	if w.aux == nil || len(op.BuildAux) == 0 {
 		return
@@ -176,6 +180,8 @@ func (w *worker) auxRelease(op plan.VertexOp) {
 // value, building it on first lookup within the live activation. ok=false
 // falls back to the plain adjacency path: spec inactive (hand-built plan or
 // cost-gated activation) or — defensively — a key outside the universe.
+//
+//flexlint:noalloc
 func (w *worker) auxRow(op plan.VertexOp) ([]graph.VID, bool) {
 	if op.AuxBase < 0 || op.AuxBase >= len(w.aux) {
 		return nil, false
@@ -199,6 +205,8 @@ func (w *worker) auxRow(op plan.VertexOp) ([]graph.VID, bool) {
 // auxBuild materializes aux[x] into the arena tail through the same
 // policy-dispatched kernels as the per-step path (Options.Kernel applies,
 // kernel Stats counters charge normally) and stamps its position.
+//
+//flexlint:noalloc
 func (w *worker) auxBuild(st *auxState, spec *plan.AuxSpec, x graph.VID, pos int) []graph.VID {
 	bound := setops.NoBound
 	if spec.RowBound != plan.NoLevel {

@@ -190,6 +190,11 @@ func TestAuxCancellationMidMaterialization(t *testing.T) {
 // TestAuxScratchPooledAllocs proves the fix the issue calls out: aux scratch
 // (stamps, offsets, arena) is pooled in per-worker state, so a warmed worker
 // runs whole tasks — materializations included — without allocating.
+//
+// This is the runtime half of a two-sided check: flexlint's noalloc analyzer
+// proves the same property statically for every input (runTask and its whole
+// callee closure carry //flexlint:noalloc), while this test catches what the
+// prover's allowlist exempts (Store.Adj implementations, worker.visit).
 func TestAuxScratchPooledAllocs(t *testing.T) {
 	g := graph.RMAT(10, 6000, 0.57, 0.19, 0.19, 5)
 	pl := compileAux(t, pattern.House())

@@ -422,6 +422,8 @@ const cancelPollPeriod = 1 << 10
 
 // cancelled polls the run's cancellation signal at most once per
 // cancelPollPeriod calls and latches the result into w.stopped.
+//
+//flexlint:noalloc
 func (w *worker) cancelled() bool {
 	if w.stopped {
 		return true
@@ -469,6 +471,8 @@ func newWorker(g graph.Store, pl *plan.Plan, o Options) *worker {
 // runTask explores the subtree rooted at the task's start vertex (restricted
 // to its level-1 adjacency slice when the task is a hub sub-task) and reports
 // whether the worker may continue (false once cancellation latched).
+//
+//flexlint:noalloc
 func (w *worker) runTask(t sched.Task) bool {
 	var before Stats
 	if w.trace.Enabled() {
@@ -512,6 +516,8 @@ func (w *worker) emitTaskTrace(t sched.Task, before *Stats) {
 }
 
 // walk matches the vertex for node n at the given depth and recurses.
+//
+//flexlint:noalloc
 func (w *worker) walk(n *plan.Node, depth int) {
 	if w.stopped {
 		return
@@ -556,6 +562,7 @@ func (w *worker) walk(n *plan.Node, depth int) {
 	}
 }
 
+//flexlint:noalloc
 func (w *worker) cmapInsert(op plan.VertexOp, depth int, v graph.VID) bool {
 	if w.cm == nil || !op.InsertCMap {
 		return false
@@ -565,11 +572,13 @@ func (w *worker) cmapInsert(op plan.VertexOp, depth int, v graph.VID) bool {
 	return ok
 }
 
+//flexlint:noalloc
 func (w *worker) cmapRemove(op plan.VertexOp, depth int, v graph.VID) {
 	w.cm.RemoveLevel(w.g.Adj(v), depth, w.cmapBound(op))
 	w.cmLevelOK[depth] = false
 }
 
+//flexlint:noalloc
 func (w *worker) cmapBound(op plan.VertexOp) graph.VID {
 	if op.CMapBound == plan.NoLevel {
 		return cmap.NoBound
@@ -579,6 +588,8 @@ func (w *worker) cmapBound(op plan.VertexOp) graph.VID {
 
 // bound returns the effective ID upper bound: the minimum over the op's
 // symmetry-order bounds, or NoBound.
+//
+//flexlint:noalloc
 func (w *worker) bound(op plan.VertexOp) graph.VID {
 	b := setops.NoBound
 	for _, idx := range op.UpperBounds {
@@ -593,6 +604,8 @@ func (w *worker) bound(op plan.VertexOp) graph.VID {
 // buffer, applying (in order) the frontier/adjacency base, the symmetry
 // bound, connectivity constraints (via c-map queries when covered, set
 // operations otherwise) and explicit distinctness checks.
+//
+//flexlint:noalloc
 func (w *worker) candidates(op plan.VertexOp, depth int) []graph.VID {
 	bound := w.bound(op)
 	base, intersect, difference := w.baseFor(op, depth, bound)
@@ -611,6 +624,8 @@ func (w *worker) candidates(op plan.VertexOp, depth int) []graph.VID {
 // the residual intersect/difference source levels. Shared by the
 // materializing (candidates) and count-only (leafCount) paths so both see
 // identical inputs.
+//
+//flexlint:noalloc
 func (w *worker) baseFor(op plan.VertexOp, depth int, bound graph.VID) (base []graph.VID, intersect, difference []int) {
 	if op.FrontierBase != plan.NoLevel {
 		w.stats.FrontierReuses++
@@ -642,6 +657,8 @@ func (w *worker) baseFor(op plan.VertexOp, depth int, bound graph.VID) (base []g
 
 // cmapCovers reports whether every queried level was successfully inserted
 // into the c-map (hint present and no overflow).
+//
+//flexlint:noalloc
 func (w *worker) cmapCovers(intersect, difference []int) bool {
 	if w.cm == nil {
 		return false
@@ -665,6 +682,8 @@ func (w *worker) cmapCovers(intersect, difference []int) bool {
 // filterViaCMap checks each base element's connectivity with single c-map
 // lookups (§VI: "all the set operations can be replaced by querying the
 // c-map").
+//
+//flexlint:noalloc
 func (w *worker) filterViaCMap(out, base []graph.VID, op plan.VertexOp, intersect, difference []int) []graph.VID {
 	var need, avoid cmap.Bits
 	for _, j := range intersect {
@@ -690,6 +709,8 @@ func (w *worker) filterViaCMap(out, base []graph.VID, op plan.VertexOp, intersec
 // policy-selected kernels (merge = the SIU/SDU path, galloping, hub bitmap;
 // see kernels.go) and then the distinctness filter. Under KernelMergeOnly
 // this is exactly the classic merge chain.
+//
+//flexlint:noalloc
 func (w *worker) filterViaSetOps(out, base []graph.VID, op plan.VertexOp, intersect, difference []int, bound graph.VID) []graph.VID {
 	// Chained operations ping-pong between two worker-owned scratch
 	// buffers; base (graph adjacency or a memoized frontier) is never
@@ -726,6 +747,8 @@ func (w *worker) filterViaSetOps(out, base []graph.VID, op plan.VertexOp, inters
 
 // distinct applies the explicit inequality checks the compiler could not
 // prove away.
+//
+//flexlint:noalloc
 func (w *worker) distinct(v graph.VID, op plan.VertexOp) bool {
 	for _, j := range op.NotEqual {
 		if w.emb[j] == v {

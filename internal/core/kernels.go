@@ -94,6 +94,8 @@ const (
 
 // chooseKernel picks the kernel for one chained operation cur ∘ adj.
 // hubBM is adj's dense bitmap (nil when the ancestor is not an indexed hub).
+//
+//flexlint:noalloc
 func (w *worker) chooseKernel(curLen, adjLen int, hubBM []uint64, diff bool) kernelKind {
 	switch w.o.Kernel {
 	case KernelMergeOnly:
@@ -129,6 +131,8 @@ func (w *worker) chooseKernel(curLen, adjLen int, hubBM []uint64, diff bool) ker
 
 // hubBitmap resolves the hub bitmap of an ancestor vertex under the active
 // policy (nil when bitmaps are disabled or v is not an indexed hub).
+//
+//flexlint:noalloc
 func (w *worker) hubBitmap(v graph.VID) []uint64 {
 	if w.hub == nil {
 		return nil
@@ -139,6 +143,8 @@ func (w *worker) hubBitmap(v graph.VID) []uint64 {
 // setOp appends (cur ∘ adj(anc)) bounded by bound to dst, where ∘ is
 // intersection (diff=false) or difference (diff=true), dispatching to the
 // policy-selected kernel and charging the matching Stats counter.
+//
+//flexlint:noalloc
 func (w *worker) setOp(dst, cur []graph.VID, anc graph.VID, diff bool, bound graph.VID) []graph.VID {
 	adj := w.g.Adj(anc)
 	hubBM := w.hubBitmap(anc)
@@ -175,6 +181,8 @@ func (w *worker) setOp(dst, cur []graph.VID, anc graph.VID, diff bool, bound gra
 // setOpCount is setOp without materialization: it returns |cur ∘ adj(anc)|
 // under bound. Used by the count-only leaf path for the final chained
 // operation.
+//
+//flexlint:noalloc
 func (w *worker) setOpCount(cur []graph.VID, anc graph.VID, diff bool, bound graph.VID) int64 {
 	adj := w.g.Adj(anc)
 	hubBM := w.hubBitmap(anc)
@@ -213,6 +221,8 @@ func (w *worker) setOpCount(cur []graph.VID, anc graph.VID, diff bool, bound gra
 // candidates() exactly: same base resolution, same c-map coverage decision,
 // same chained operations; only the final operation runs as a counting
 // kernel and the distinctness filter becomes a membership adjustment.
+//
+//flexlint:noalloc
 func (w *worker) leafCount(op plan.VertexOp, depth int) int64 {
 	bound := w.bound(op)
 	base, intersect, difference := w.baseFor(op, depth, bound)
@@ -287,6 +297,8 @@ func (w *worker) leafCount(op plan.VertexOp, depth int) int64 {
 
 // countViaCMap is filterViaCMap without materialization: identical c-map
 // lookups (so c-map statistics stay invariant), summed instead of appended.
+//
+//flexlint:noalloc
 func (w *worker) countViaCMap(base []graph.VID, op plan.VertexOp, intersect, difference []int) int64 {
 	var need, avoid cmap.Bits
 	for _, j := range intersect {

@@ -11,9 +11,14 @@ import (
 )
 
 // DefaultAnalyzers returns the production flexlint suite, in the order the
-// diagnostics documentation lists them.
+// diagnostics documentation lists them. Lockcheck precedes Lockorder so that
+// when both flag the same non-deferred Unlock, dedupe keeps lockcheck's
+// (per-function, more precise) wording.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Detlint, Statsum, Kernelpin, Lockcheck, Boundarg, Adjwrite}
+	return []*Analyzer{
+		Detlint, Statsum, Kernelpin, Lockcheck, Boundarg, Adjwrite,
+		Lockorder, AtomicHygiene, Noalloc, Goroleak,
+	}
 }
 
 // Run executes the analyzers against the target packages (which must belong
@@ -46,6 +51,22 @@ func Run(prog *Program, analyzers []*Analyzer, targets []*Package) []Diagnostic 
 			a.Run(&Pass{Prog: prog, Pkg: pkg, analyzer: a, diags: &diags})
 		}
 	}
+	// Cross-analyzer dedupe: one underlying bug, one report. Keys are
+	// assigned by the analyzers (e.g. "nondef-unlock:<pos>" from both
+	// lockcheck and lockorder); the first report in analyzer registration
+	// order survives.
+	seen := map[string]bool{}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Dedupe != "" {
+			if seen[d.Dedupe] {
+				continue
+			}
+			seen[d.Dedupe] = true
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {

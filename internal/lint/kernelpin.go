@@ -65,12 +65,6 @@ func NewKernelpin(cfg KernelpinConfig) *Analyzer {
 	}
 }
 
-// funcBody pairs a declared function with its defining package.
-type funcBody struct {
-	pkg  *Package
-	decl *ast.FuncDecl
-}
-
 // litSite is one core.Options composite literal found in a reachable
 // function.
 type litSite struct {
@@ -81,20 +75,7 @@ type litSite struct {
 
 func runKernelpin(pass *Pass, cfg KernelpinConfig) {
 	// Index every declared function in the program.
-	bodies := map[*types.Func]funcBody{}
-	for _, pkg := range pass.Prog.Packages() {
-		for _, f := range pkg.Files {
-			for _, d := range f.Decls {
-				fd, ok := d.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					bodies[fn] = funcBody{pkg: pkg, decl: fd}
-				}
-			}
-		}
-	}
+	bodies := indexFuncs(pass.Prog)
 
 	// Reachability from the runner roots: any referenced function counts
 	// (calls, and function values handed to schedulers/closures).

@@ -27,6 +27,12 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+
+	// Dedupe, when non-empty, names the underlying bug independently of the
+	// analyzer that spotted it. Run keeps only the first diagnostic per key,
+	// so overlapping analyzers (lockcheck and lockorder both flag a
+	// non-deferred Unlock) report one bug once.
+	Dedupe string
 }
 
 // Analyzer is one invariant checker. Per-package analyzers receive one Pass
@@ -50,10 +56,18 @@ type Analyzer struct {
 
 // applies reports whether the analyzer's scope covers pkgPath.
 func (a *Analyzer) applies(pkgPath string) bool {
-	if len(a.Scope) == 0 {
+	return inScope(a.Scope, pkgPath)
+}
+
+// inScope reports whether pkgPath matches one of the scope entries (exact or
+// suffix). An empty scope covers every package. Program-wide analyzers that
+// take a package scope (lockorder) share this matcher with the per-package
+// driver path.
+func inScope(scope []string, pkgPath string) bool {
+	if len(scope) == 0 {
 		return true
 	}
-	for _, s := range a.Scope {
+	for _, s := range scope {
 		if pkgPath == s || strings.HasSuffix(pkgPath, s) {
 			return true
 		}
@@ -77,6 +91,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// ReportDeduped records a diagnostic carrying a cross-analyzer dedupe key;
+// Run keeps the first report per key (analyzer registration order wins).
+func (p *Pass) ReportDeduped(pos token.Pos, dedupe, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Dedupe:   dedupe,
+	})
+}
+
+// funcBody pairs a declared function with its defining package.
+type funcBody struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// indexFuncs indexes every declared function (with a body) in the program by
+// its types object. The interprocedural analyzers (kernelpin, lockorder,
+// noalloc, goroleak) all resolve callsites through this one map, so a callee
+// found via Info.Uses in one package is the same *types.Func key a Defs
+// lookup produced in its defining package.
+func indexFuncs(prog *Program) map[*types.Func]funcBody {
+	bodies := map[*types.Func]funcBody{}
+	for _, pkg := range prog.Packages() {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = funcBody{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return bodies
 }
 
 // calleeOf resolves the static callee of a call expression in pkg, or nil

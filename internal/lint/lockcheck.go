@@ -22,10 +22,15 @@ type LockcheckConfig struct {
 	Scope []string
 }
 
-// Lockcheck is the production instance, scoped to the hub-index and deque
-// packages.
+// Lockcheck is the production instance: originally scoped to the hub-index
+// and deque packages, extended to serve and core once those grew goroutine
+// fan-out of their own (the serve job loop and the engine's worker state are
+// the next places a copied lock or leaked Unlock would land).
 var Lockcheck = NewLockcheck(LockcheckConfig{
-	Scope: []string{"repro/internal/graph", "repro/internal/sched"},
+	Scope: []string{
+		"repro/internal/graph", "repro/internal/sched",
+		"repro/internal/serve", "repro/internal/core",
+	},
 })
 
 // NewLockcheck builds a lockcheck instance.
@@ -76,7 +81,9 @@ func checkUnlock(pass *Pass, call *ast.CallExpr, deferred map[*ast.CallExpr]bool
 	if fn.Name() != "Unlock" && fn.Name() != "RUnlock" {
 		return
 	}
-	pass.Reportf(call.Pos(), "%s outside defer leaks the lock on panic or early return; use `defer %s`", fn.Name(), fn.Name())
+	// Keyed so lockorder's view of the same call dedupes against this one.
+	pass.ReportDeduped(call.Pos(), nondefUnlockKey(call),
+		"%s outside defer leaks the lock on panic or early return; use `defer %s`", fn.Name(), fn.Name())
 }
 
 // checkLockSignature flags by-value receivers and parameters of

@@ -1,0 +1,50 @@
+// Package atomicfix seeds mixed atomic/plain accesses for the atomichygiene
+// analyzer tests, mirroring the serve.Progress / sched steal-counter shapes.
+package atomicfix
+
+import "sync/atomic"
+
+// counters mirrors a progress block: done is maintained with sync/atomic,
+// plain is never touched atomically (and so never tracked).
+type counters struct {
+	done  int64
+	plain int64
+}
+
+// hits is a package-level counter maintained atomically.
+var hits int64
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.done, 1)
+	atomic.AddInt64(&hits, 1)
+}
+
+func loadOK(c *counters) int64 {
+	return atomic.LoadInt64(&c.done) + atomic.LoadInt64(&hits)
+}
+
+// snapshot reads the atomic field without sync/atomic: a torn/stale read.
+func snapshot(c *counters) int64 {
+	return c.done // want `field done is accessed via sync/atomic elsewhere`
+}
+
+// reset writes the atomic field plainly: races every concurrent AddInt64.
+func reset(c *counters) {
+	c.done = 0 // want `field done is accessed via sync/atomic elsewhere`
+}
+
+// readHits mixes a plain read of the package-level counter.
+func readHits() int64 {
+	return hits // want `package-level var hits is accessed via sync/atomic elsewhere`
+}
+
+// plainOnly never goes through sync/atomic, so plain access is fine.
+func plainOnly(c *counters) {
+	c.plain++
+}
+
+// construct initializes by composite-literal key: construction precedes
+// sharing, exempt by design.
+func construct() *counters {
+	return &counters{done: 0, plain: 0}
+}

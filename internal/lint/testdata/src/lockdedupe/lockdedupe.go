@@ -1,0 +1,14 @@
+// Package lockdedupe seeds exactly one bug — a non-deferred Unlock — that
+// both lockcheck and lockorder detect independently. The driver's dedupe
+// must collapse the pair to a single report (lockcheck's wording, since it
+// registers first).
+package lockdedupe
+
+import "sync"
+
+var mu sync.Mutex
+
+func touch() {
+	mu.Lock()
+	mu.Unlock()
+}

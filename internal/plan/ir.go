@@ -157,6 +157,8 @@ type Node struct {
 }
 
 // IsLeaf reports whether a completed match at this node should be counted.
+//
+//flexlint:noalloc
 func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
 
 // AuxSpec describes one auxiliary graph (§"Auxiliary-graph pruning",

@@ -254,3 +254,40 @@ func BenchmarkIntersectGalloping(b *testing.B) {
 		dst = IntersectGalloping(dst[:0], small, big, NoBound)
 	}
 }
+
+// TestKernelsZeroAlloc is the runtime half of the noalloc contract: every
+// set-operation kernel carries //flexlint:noalloc (statically proven by
+// flexlint to append only into caller-owned dst and never box, convert, or
+// spawn), and this cross-check measures the same property on live data with
+// pre-grown destinations. If either side fails alone, the other names the
+// blind spot: the prover covers all inputs, the measurement covers the
+// runtime the prover abstracts.
+func TestKernelsZeroAlloc(t *testing.T) {
+	a := make([]VID, 0, 512)
+	b := make([]VID, 0, 512)
+	for i := 0; i < 512; i++ {
+		a = append(a, VID(2*i))
+		b = append(b, VID(3*i))
+	}
+	bm := make([]uint64, BitmapWords(2048))
+	for _, v := range b {
+		bm[int(v)>>6] |= 1 << (uint(v) & 63)
+	}
+	dst := make([]VID, 0, 512)
+	var s Seeker
+	if avg := testing.AllocsPerRun(10, func() {
+		dst, _ = IntersectCost(dst[:0], a, b, NoBound)
+		dst, _ = DifferenceCost(dst[:0], a, b, NoBound)
+		dst, _ = IntersectGallopingCost(dst[:0], a, b, NoBound)
+		dst, _ = DifferenceGallopingCost(dst[:0], a, b, NoBound)
+		dst, _ = IntersectBitmap(dst[:0], a, bm, NoBound)
+		dst, _ = DifferenceBitmap(dst[:0], a, bm, NoBound)
+		_, _ = IntersectCountCost(a, b, NoBound)
+		_, _ = DifferenceCountCost(a, b, NoBound)
+		s.Reset()
+		_ = s.Seek(b, a[len(a)/2])
+		dst = AppendBounded(dst[:0], a, 600)
+	}); avg > 0 {
+		t.Fatalf("set kernels allocate %.1f times per round; //flexlint:noalloc promises zero", avg)
+	}
+}
