@@ -1,9 +1,12 @@
 package main
 
 // The serve subcommand: run workloads while exposing the observability spine
-// over HTTP (internal/serve). The process stays up after the mining passes
+// over HTTP (internal/serve) and, with -jobs, the asynchronous multi-tenant
+// job API (internal/jobs). The process stays up after the mining passes
 // finish so /metrics can be scraped and /debug/pprof inspected, and shuts
-// down gracefully on SIGINT/SIGTERM.
+// down gracefully on SIGINT/SIGTERM — draining the in-flight workload and
+// any running job batches (bounded by serve.DrainGrace) before the listener
+// closes.
 
 import (
 	"context"
@@ -18,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -25,7 +29,8 @@ import (
 
 // runServe implements `flexminer serve`: a long-lived process serving
 // /metrics (Prometheus text), /healthz, /debug/progress and /debug/pprof
-// while running the requested workload -runs times on the CPU engine.
+// while running the requested workload -runs times on the CPU engine, plus
+// the /jobs API when -jobs is set.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("flexminer serve", flag.ExitOnError)
 	fs.Usage = func() {
@@ -44,6 +49,12 @@ func runServe(args []string) error {
 	auxName := fs.String("aux", "auto", "CPU auxiliary-graph pruning: off, auto (cost-model gated), on")
 	slice := fs.Int("slice", 0, "hub-slicing task size in adjacency elements (0 auto, -1 off)")
 	runs := fs.Int("runs", 1, "mining passes to execute while serving (0 = serve endpoints only)")
+	jobsOn := fs.Bool("jobs", false, "serve the async mining-job API under /jobs (the -graph/-dataset input is registered as graph \"default\")")
+	jobsQueue := fs.Int("jobs-queue", 64, "job queue bound (submits beyond it get 429)")
+	jobsBatch := fs.Int("jobs-batch", 8, "max distinct patterns merged into one batched plan (1 disables batching)")
+	jobsRunning := fs.Int("jobs-running", 1, "max concurrently executing job batches")
+	jobsGraphDir := fs.String("jobs-graph-dir", "", "root directory for job graph path references (empty = named graphs only)")
+	jobsPaused := fs.Bool("jobs-paused", false, "start the job dispatcher paused (POST /jobs/queue/resume to release)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,16 +68,28 @@ func runServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Resolve the workload up front so flag mistakes fail fast, before a
-	// listener is bound.
-	var mine func(context.Context) error
-	if *runs > 0 {
-		g, closeG, err := loadInput(*graphPath, *dataset, *useMmap)
+	// Resolve inputs up front so flag mistakes fail fast, before a listener
+	// is bound. The graph is shared between the serve-mode workload and the
+	// job service's "default" registration.
+	var g graph.Store
+	if *graphPath != "" || *dataset != "" {
+		var closeG func() error
+		var err error
+		g, closeG, err = loadInput(*graphPath, *dataset, *useMmap)
 		if err != nil {
 			return err
 		}
-		defer closeG()
+		defer closeG() //nolint:errcheck // close on exit; nothing left to do with the error
 		fmt.Printf("graph: %s\n", graph.ComputeStats(inputName(*graphPath, *dataset), g))
+	}
+
+	// With -jobs, a graph-only invocation (no -app/-pattern) is a pure job
+	// server; without it, the workload is mandatory as before.
+	var mine func(context.Context) error
+	if *runs > 0 && (*app != "" || *patName != "" || !*jobsOn) {
+		if g == nil {
+			return fmt.Errorf("serve: one of -graph or -dataset is required")
+		}
 		pl, mineG, err := buildPlan(g, *app, *patName, *induced)
 		if err != nil {
 			return err
@@ -107,16 +130,53 @@ func runServe(args []string) error {
 	}
 
 	mux := serve.NewMux(reg, &prog, "flexminer")
+
+	// Shutdown drainers, run after SIGINT but before the listener closes so
+	// the final state of the run stays scrapeable on /metrics.
+	var drainers []func(context.Context) error
+
+	if *jobsOn {
+		named := map[string]graph.Store{}
+		if g != nil {
+			named["default"] = g
+		}
+		js := jobs.New(jobs.Config{
+			Registry:    reg,
+			MaxQueue:    *jobsQueue,
+			MaxBatch:    *jobsBatch,
+			MaxRunning:  *jobsRunning,
+			Graphs:      named,
+			GraphDir:    *jobsGraphDir,
+			StartPaused: *jobsPaused,
+		})
+		js.Routes(mux)
+		drainers = append(drainers, js.Close)
+	}
+
 	if mine != nil {
+		workloadDone := make(chan struct{})
 		go func() {
+			defer close(workloadDone)
 			if err := mine(ctx); err != nil && !errors.Is(err, context.Canceled) {
 				fmt.Fprintln(os.Stderr, "flexminer serve: workload:", err)
 			}
 		}()
+		// The workload mines under the signal context, so after SIGINT it
+		// unwinds promptly with partial counts; the drainer just waits for
+		// that unwind to land in the registry.
+		drainers = append(drainers, func(dctx context.Context) error {
+			select {
+			case <-workloadDone:
+				return nil
+			case <-dctx.Done():
+				return dctx.Err()
+			}
+		})
 	}
+
 	err := serve.ListenAndServe(ctx, *addr, mux, func(bound string) {
 		fmt.Printf("serving http://%s/{metrics,healthz,debug/progress,debug/pprof} — ^C to stop\n", bound)
-	})
+	}, drainers...)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}

@@ -1,0 +1,71 @@
+package jobs
+
+// FuzzJobSubmitJSON locks down the hardened edge of the service: no byte
+// sequence POSTed at /jobs may panic the decoder. Malformed JSON, absurd
+// sizes, bad graph references and degenerate patterns must all come back as
+// clean errors, and anything the decoder accepts must be internally
+// consistent (a usable pattern, normalized options).
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func FuzzJobSubmitJSON(f *testing.F) {
+	seeds := []string{
+		// The happy paths.
+		`{"tenant":"alice","graph":{"name":"default"},"pattern":{"name":"triangle"}}`,
+		`{"graph":{"path":"web.bin","mmap":true},"pattern":{"name":"diamond"},"options":{"workers":4,"kernel":"merge","aux":"off","slice":1024,"timeout_ms":5000}}`,
+		`{"graph":{"name":"g"},"pattern":{"vertices":4,"edges":[[0,1],[1,2],[2,3],[3,0]],"induced":true}}`,
+		`{"graph":{"name":"g"},"pattern":{"name":"5-clique"}}`,
+		// The documented failure modes.
+		`{"graph":{},"pattern":{"name":"triangle"}}`,
+		`{"graph":{"name":"g","path":"also.bin"},"pattern":{"name":"triangle"}}`,
+		`{"graph":{"name":"g"},"pattern":{"name":"no-such-pattern"}}`,
+		`{"graph":{"name":"g"},"pattern":{"vertices":99,"edges":[[0,1]]}}`,
+		`{"graph":{"name":"g"},"pattern":{"vertices":4,"edges":[[0,7]]}}`,
+		`{"graph":{"name":"g"},"pattern":{"vertices":4,"edges":[[1,1]]}}`,
+		`{"graph":{"name":"g"},"pattern":{"vertices":4,"edges":[[0,1],[2,3]]}}`,
+		`{"graph":{"name":"g"},"pattern":{"name":"triangle"},"options":{"workers":-1}}`,
+		`{"graph":{"name":"g"},"pattern":{"name":"triangle"},"options":{"kernel":"warp"}}`,
+		`{"graph":{"name":"g"},"pattern":{"name":"triangle"},"unknown_field":1}`,
+		`{"graph":{"name":"g"},"pattern":{"name":"triangle"}} trailing`,
+		`{not json`,
+		``,
+		`null`,
+		`[]`,
+		"{\"tenant\":\"\u0000\",\"graph\":{\"name\":\"g\"},\"pattern\":{\"name\":\"wedge\"}}",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, pat, err := ParseSubmit(data)
+		if err != nil {
+			return
+		}
+		// Accepted requests must be fully usable downstream.
+		if pat == nil {
+			t.Fatal("accepted request with nil pattern")
+		}
+		if pat.Size() < 2 || pat.Size() > pattern.MaxVertices {
+			t.Fatalf("accepted pattern of size %d", pat.Size())
+		}
+		if !pat.IsConnected() {
+			t.Fatal("accepted disconnected pattern")
+		}
+		if req.Tenant == "" {
+			t.Fatal("accepted request with empty tenant after normalization")
+		}
+		if (req.Graph.Name == "") == (req.Graph.Path == "") {
+			t.Fatalf("accepted ambiguous graph ref %+v", req.Graph)
+		}
+		if req.Options.Kernel == "" || req.Options.Aux == "" {
+			t.Fatalf("accepted un-normalized options %+v", req.Options)
+		}
+		if _, err := req.Options.coreOptions(); err != nil {
+			t.Fatalf("accepted options that don't map to core: %v", err)
+		}
+	})
+}

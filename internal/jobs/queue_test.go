@@ -1,0 +1,128 @@
+package jobs
+
+// DRR schedule tests: fairness must hold deterministically, as an exact
+// property of the dequeue order, not as a statistical tendency.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func qjob(tenant string, n int) *Job {
+	return &Job{id: fmt.Sprintf("%s-%d", tenant, n), tenant: tenant}
+}
+
+// TestDRRFloodedTenantCannotStarve is the fairness acceptance criterion at
+// the queue level: tenant A floods 50 jobs before tenant B's single job
+// arrives, yet B's job is the SECOND dequeue — within the documented
+// (T-1)·Q + 1 = 2 pops — and the full schedule matches DRR exactly.
+func TestDRRFloodedTenantCannotStarve(t *testing.T) {
+	q := newDRRQueue(100, 1)
+	for i := 1; i <= 50; i++ {
+		if err := q.push(qjob("A", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.push(qjob("B", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact DRR schedule with quantum 1: one A, one B (its whole backlog),
+	// then the remaining 49 A jobs in FIFO order.
+	want := []string{"A-1", "B-1"}
+	for i := 2; i <= 50; i++ {
+		want = append(want, fmt.Sprintf("A-%d", i))
+	}
+	for pos, id := range want {
+		j := q.pop()
+		if j == nil {
+			t.Fatalf("pop %d: queue empty, want %s", pos+1, id)
+		}
+		if j.id != id {
+			t.Fatalf("pop %d: got %s, want %s (DRR schedule violated)", pos+1, j.id, id)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestDRRRoundRobinAcrossThreeTenants checks the rotation with quantum 2 and
+// the no-banking rule: a tenant whose FIFO empties forfeits its remaining
+// deficit.
+func TestDRRRoundRobinAcrossThreeTenants(t *testing.T) {
+	q := newDRRQueue(100, 2)
+	// A: 5 jobs, B: 1 job, C: 3 jobs — registered in that ring order.
+	for i := 1; i <= 5; i++ {
+		mustPush(t, q, qjob("A", i))
+	}
+	mustPush(t, q, qjob("B", 1))
+	for i := 1; i <= 3; i++ {
+		mustPush(t, q, qjob("C", i))
+	}
+	want := []string{
+		"A-1", "A-2", // A's quantum of 2
+		"B-1",        // B empties, forfeits its second unit
+		"C-1", "C-2", // C's quantum
+		"A-3", "A-4", // round 2
+		"C-3", // C empties
+		"A-5", // only A remains
+	}
+	for pos, id := range want {
+		j := q.pop()
+		if j == nil || j.id != id {
+			got := "<nil>"
+			if j != nil {
+				got = j.id
+			}
+			t.Fatalf("pop %d: got %s, want %s", pos+1, got, id)
+		}
+	}
+}
+
+func TestDRRQueueBoundAndRemove(t *testing.T) {
+	q := newDRRQueue(3, 1)
+	a, b, c := qjob("A", 1), qjob("A", 2), qjob("B", 1)
+	mustPush(t, q, a)
+	mustPush(t, q, b)
+	mustPush(t, q, c)
+	if err := q.push(qjob("C", 1)); err != ErrQueueFull {
+		t.Fatalf("push beyond bound: got %v, want ErrQueueFull", err)
+	}
+	if !q.remove(b) {
+		t.Fatal("remove of queued job failed")
+	}
+	if q.remove(b) {
+		t.Fatal("second remove of same job should report absence")
+	}
+	// Bound freed: a new job fits again.
+	mustPush(t, q, qjob("C", 1))
+	if got := []string{q.pop().id, q.pop().id, q.pop().id}; got[0] != "A-1" || got[1] != "B-1" || got[2] != "C-1" {
+		t.Fatalf("unexpected schedule after remove: %v", got)
+	}
+}
+
+func TestDRRCollectPullsMatchingJobs(t *testing.T) {
+	q := newDRRQueue(10, 1)
+	a1, a2, b1 := qjob("A", 1), qjob("A", 2), qjob("B", 1)
+	mustPush(t, q, a1)
+	mustPush(t, q, a2)
+	mustPush(t, q, b1)
+	got := q.collect(func(j *Job) bool { return j.tenant == "A" })
+	if len(got) != 2 || got[0] != a1 || got[1] != a2 {
+		t.Fatalf("collect returned %v", got)
+	}
+	if q.size != 1 {
+		t.Fatalf("size after collect = %d, want 1", q.size)
+	}
+	if j := q.pop(); j != b1 {
+		t.Fatalf("survivor = %v, want B-1", j)
+	}
+}
+
+func mustPush(t *testing.T, q *drrQueue, j *Job) {
+	t.Helper()
+	if err := q.push(j); err != nil {
+		t.Fatal(err)
+	}
+}

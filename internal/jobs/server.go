@@ -1,0 +1,732 @@
+// Package jobs is the asynchronous multi-tenant mining-job subsystem layered
+// on the serving surface (internal/serve) and the CPU engine (internal/core):
+// tenants submit jobs (tenant + graph reference + pattern + engine options)
+// over HTTP, poll their state through queued → compiling → running → done /
+// failed / cancelled, fetch results, and cancel mid-run (wired through
+// MineContext's cancellation, which returns partial counts).
+//
+// Two properties distinguish it from a plain work queue:
+//
+//   - Per-tenant fairness: the bounded queue is drained by deficit
+//     round-robin over per-tenant FIFOs (queue.go), so one tenant flooding
+//     the queue cannot starve another's single job.
+//
+//   - Query batching: before launching a job, the dispatcher scans the queue
+//     for co-queued jobs on the same graph with the same pattern size and
+//     engine options, and compiles them jointly through the plan layer's
+//     multi-pattern dependency-tree merge (plan.CompileMulti, the paper's
+//     Listing 2). Shared matching-order prefixes — and the c-map contents
+//     and memoized frontiers hanging off them — are then computed once for
+//     the whole batch instead of once per job, and the per-pattern counts
+//     are demultiplexed back to each job's result. Isomorphic co-queued
+//     patterns collapse onto one plan leg ("free" deduplication). Batching
+//     is metadata-compatibility-gated (DESIGN.md decision 16): a merged
+//     plan runs on one engine, so graph, matching semantics and every
+//     engine knob must agree before two jobs may share it.
+//
+// The subsystem introduces only live counters (jobs.* in the shared
+// obs.Registry) and never touches the paper runners, whose options are
+// pinned by the kernelpin analyzer.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+	"repro/internal/plan"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateCompiling State = "compiling"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Registry counter names the subsystem feeds (live surfaces only, never
+// golden-tested documents — queue traffic is load-dependent).
+const (
+	MetricQueued            = "jobs.queued"      // jobs accepted into the queue
+	MetricBatched           = "jobs.batched"     // jobs dispatched in a ≥2-job batch
+	MetricBatchWidth        = "jobs.batch_width" // sum of dispatched batch widths
+	MetricRejectedQueueFull = "jobs.rejected_queue_full"
+	MetricCancelled         = "jobs.cancelled"
+	MetricCompleted         = "jobs.completed"
+	MetricFailed            = "jobs.failed"
+)
+
+// Sentinel errors mapped onto HTTP statuses by the handlers.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrClosed    = errors.New("jobs: server is shutting down")
+	ErrNotFound  = errors.New("jobs: no such job")
+)
+
+// Config parameterizes a Server. The zero value is usable: private registry,
+// queue of 64, batches up to 8 plan legs, one batch in flight, quantum 1,
+// GOMAXPROCS workers, named graphs only.
+type Config struct {
+	// Registry receives the jobs.* counters (and, via scheduler hooks, the
+	// sched.* steal counters of job runs). Nil creates a private registry.
+	Registry *obs.Registry
+
+	// MaxQueue bounds the number of queued (not yet dispatched) jobs;
+	// submits beyond it are rejected with ErrQueueFull. Default 64.
+	MaxQueue int
+
+	// MaxBatch caps the number of distinct-pattern legs merged into one
+	// plan (isomorphic duplicates ride on existing legs for free).
+	// 1 disables batching. Default 8.
+	MaxBatch int
+
+	// MaxRunning caps concurrently executing batches. Default 1 — the
+	// engine already parallelizes across workers, so queueing discipline,
+	// not batch concurrency, is the scaling knob.
+	MaxRunning int
+
+	// Quantum is the DRR quantum in jobs per tenant per round. Default 1.
+	Quantum int
+
+	// DefaultWorkers is the engine thread count applied when a request
+	// leaves Options.Workers at 0. Default GOMAXPROCS.
+	DefaultWorkers int
+
+	// Graphs are the preregistered named graphs (GraphRef.Name). The map is
+	// read-only after New.
+	Graphs map[string]graph.Store
+
+	// GraphDir, when non-empty, enables GraphRef.Path references: paths
+	// resolve relative to this directory and may not escape it. Empty
+	// rejects all path references (the safe default for a network-facing
+	// server).
+	GraphDir string
+
+	// StartPaused starts the dispatcher paused (Resume() releases it) —
+	// jobs queue up but nothing dispatches, which is how tests and
+	// maintenance windows make batching deterministic.
+	StartPaused bool
+
+	// OnTransition, when non-nil, observes every job state change. It runs
+	// outside server locks, in dispatch order per job; implementations must
+	// be concurrency-safe. Observation only — it must not call back into
+	// the server synchronously with unbounded blocking.
+	OnTransition func(id string, state State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry(nil)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 1
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 1
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Job is one submitted mining job. All mutable fields are guarded by the
+// server mutex; the public accessors return snapshots.
+type Job struct {
+	id      string
+	tenant  string
+	pat     *pattern.Pattern
+	induced bool
+	gref    GraphRef
+	gkey    string
+	opts    EngineOptions
+
+	state     State
+	errMsg    string
+	res       *Result
+	cancelled bool   // cancellation requested while dispatched
+	batch     *batch // non-nil from gather until finalization
+	finalized chan struct{}
+}
+
+// Result is a finished job's outcome. Stats are the whole batch's engine
+// statistics (a merged plan runs as one engine pass, so per-job attribution
+// of shared work would be arbitrary); Count is this job's own pattern count.
+type Result struct {
+	Pattern       string     `json:"pattern"`
+	Count         int64      `json:"count"`
+	Partial       bool       `json:"partial"`
+	BatchWidth    int        `json:"batch_width"`
+	BatchPatterns []string   `json:"batch_patterns,omitempty"`
+	Stats         core.Stats `json:"stats"`
+}
+
+// batch is one dispatch unit: a set of jobs compiled into a single
+// (possibly multi-pattern) plan and run on one engine.
+type batch struct {
+	legs    []*leg // one per distinct (non-isomorphic) pattern, in gather order
+	width   int    // total jobs across legs
+	gref    GraphRef
+	gkey    string
+	induced bool
+	opts    EngineOptions
+	ctx     context.Context
+	cancel  context.CancelFunc
+	live    int // jobs not yet individually cancelled
+	prog    serve.Progress
+}
+
+type leg struct {
+	pat  *pattern.Pattern
+	jobs []*Job
+}
+
+// Server owns the queue, the dispatcher and the job table.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	rootCtx context.Context
+	stopAll context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       *drrQueue
+	jobs    map[string]*Job
+	order   []string // submission order, for deterministic listings
+	nextID  int
+	running int
+	paused  bool
+	closing bool
+	notes   []transition
+
+	gmu    sync.Mutex
+	graphs map[string]resolvedGraph
+
+	dispatcherDone chan struct{}
+}
+
+type transition struct {
+	id    string
+	state State
+}
+
+type resolvedGraph struct {
+	store graph.Store
+	close func() error
+}
+
+// New starts a job server (and its dispatcher goroutine). Callers must Close
+// it to release the dispatcher and any graphs opened through GraphDir.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:            cfg,
+		reg:            cfg.Registry,
+		rootCtx:        ctx,
+		stopAll:        cancel,
+		q:              newDRRQueue(cfg.MaxQueue, cfg.Quantum),
+		jobs:           map[string]*Job{},
+		paused:         cfg.StartPaused,
+		graphs:         map[string]resolvedGraph{},
+		dispatcherDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.dispatch()
+	return s
+}
+
+// Registry returns the registry the server reports into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Pause stops dispatching new batches; queued jobs accumulate. Running
+// batches are unaffected.
+func (s *Server) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+// Resume releases a paused dispatcher.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Submit validates the (already parsed) request against server state and
+// enqueues a job, returning its ID. The request must come from ParseSubmit —
+// Submit assumes normalized options.
+func (s *Server) Submit(req SubmitRequest, pat *pattern.Pattern) (string, error) {
+	opts := req.Options
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.DefaultWorkers
+	}
+	if req.Graph.Name != "" {
+		if _, ok := s.cfg.Graphs[req.Graph.Name]; !ok {
+			return "", fmt.Errorf("jobs: unknown graph %q", req.Graph.Name)
+		}
+	} else if s.cfg.GraphDir == "" {
+		return "", fmt.Errorf("jobs: graph path references are disabled (no graph root configured); use a named graph")
+	} else if _, err := confinePath(s.cfg.GraphDir, req.Graph.Path); err != nil {
+		return "", err
+	}
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return "", ErrClosed
+	}
+	j := &Job{
+		id:        fmt.Sprintf("job-%d", s.nextID+1),
+		tenant:    req.Tenant,
+		pat:       pat,
+		induced:   req.Pattern.Induced,
+		gref:      req.Graph,
+		gkey:      req.Graph.key(),
+		opts:      opts,
+		state:     StateQueued,
+		finalized: make(chan struct{}),
+	}
+	if err := s.q.push(j); err != nil {
+		s.mu.Unlock()
+		s.reg.Add(MetricRejectedQueueFull, 1)
+		return "", err
+	}
+	s.nextID++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.notes = append(s.notes, transition{j.id, StateQueued})
+	notes := s.takeNotesLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.reg.Add(MetricQueued, 1)
+	s.fire(notes)
+	return j.id, nil
+}
+
+// Cancel requests cancellation of a job. Queued jobs leave the queue
+// immediately; dispatched jobs cancel through the engine context — the last
+// live job of a batch to be cancelled tears the whole engine run down, which
+// returns the partial counts accumulated so far. Cancelling a job whose
+// batch continues for other tenants detaches it without a result (the
+// shared engine pass cannot stop one plan leg). Cancelling a terminal job is
+// a no-op. Returns the job's state after the call.
+func (s *Server) Cancel(id string) (State, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return "", ErrNotFound
+	}
+	if j.state.Terminal() {
+		st := j.state
+		s.mu.Unlock()
+		return st, nil
+	}
+	if j.batch == nil {
+		s.q.remove(j)
+		s.finishLocked(j, StateCancelled, "cancelled while queued", nil)
+	} else if !j.cancelled {
+		j.cancelled = true
+		b := j.batch
+		b.live--
+		if b.live == 0 {
+			b.cancel() // engine unwinds; the runner finalizes with partials
+		} else {
+			s.finishLocked(j, StateCancelled, "cancelled; batch continues for co-batched jobs", nil)
+		}
+	}
+	st := j.state
+	notes := s.takeNotesLocked()
+	s.mu.Unlock()
+	s.fire(notes)
+	return st, nil
+}
+
+// Wait blocks until the job is finalized (terminal state reached and any
+// result recorded) or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) error {
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		return ErrNotFound
+	}
+	select {
+	case <-j.finalized:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Drain stops accepting submissions, cancels every still-queued job, and
+// waits for in-flight batches to finish. If ctx expires first, the running
+// engines are cancelled (they return partial results promptly) and Drain
+// returns ctx's error after they unwind. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	select {
+	case <-s.dispatcherDone:
+		return nil
+	case <-ctx.Done():
+		s.stopAll()
+		<-s.dispatcherDone
+		return ctx.Err()
+	}
+}
+
+// Close drains the server (bounded by ctx) and releases every graph opened
+// through GraphDir. The drain error, if any, is returned after cleanup.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.Drain(ctx)
+	s.stopAll()
+	s.gmu.Lock()
+	for key, r := range s.graphs {
+		if r.close != nil {
+			if cerr := r.close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		delete(s.graphs, key)
+	}
+	s.gmu.Unlock()
+	return err
+}
+
+// dispatch is the scheduler loop: it pops the DRR head, gathers a compatible
+// batch around it, and hands the batch to a runner goroutine, keeping at most
+// MaxRunning batches in flight.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	s.mu.Lock()
+	for {
+		for !s.closing && (s.paused || s.q.size == 0 || s.running >= s.cfg.MaxRunning) {
+			s.cond.Wait()
+		}
+		if s.closing {
+			for j := s.q.pop(); j != nil; j = s.q.pop() {
+				s.finishLocked(j, StateCancelled, "server shutting down", nil)
+			}
+			if s.running == 0 {
+				break
+			}
+			s.cond.Wait()
+			continue
+		}
+		head := s.q.pop()
+		b := s.gatherLocked(head)
+		s.running++
+		notes := s.takeNotesLocked()
+		s.mu.Unlock()
+		s.reg.Add(MetricBatchWidth, int64(b.width))
+		if b.width > 1 {
+			s.reg.Add(MetricBatched, int64(b.width))
+		}
+		s.fire(notes)
+		go s.runBatch(b)
+		s.mu.Lock()
+	}
+	notes := s.takeNotesLocked()
+	s.mu.Unlock()
+	s.fire(notes)
+}
+
+// gatherLocked builds the dispatch batch around the DRR head: every queued
+// job on the same graph with the same pattern size, matching semantics and
+// engine options joins, up to MaxBatch distinct plan legs. Isomorphic
+// patterns share a leg (one compiled chain, one count, many recipients).
+// Called with s.mu held.
+func (s *Server) gatherLocked(head *Job) *batch {
+	b := &batch{
+		legs:    []*leg{{pat: head.pat, jobs: []*Job{head}}},
+		width:   1,
+		gref:    head.gref,
+		gkey:    head.gkey,
+		induced: head.induced,
+		opts:    head.opts,
+	}
+	if s.cfg.MaxBatch > 1 {
+		s.q.collect(func(j *Job) bool {
+			if j.gkey != b.gkey || j.induced != b.induced || j.opts != b.opts ||
+				j.pat.Size() != head.pat.Size() {
+				return false
+			}
+			for _, l := range b.legs {
+				if l.pat.IsIsomorphic(j.pat) {
+					l.jobs = append(l.jobs, j)
+					b.width++
+					return true
+				}
+			}
+			if len(b.legs) >= s.cfg.MaxBatch {
+				return false
+			}
+			b.legs = append(b.legs, &leg{pat: j.pat, jobs: []*Job{j}})
+			b.width++
+			return true
+		})
+	}
+	b.ctx, b.cancel = context.WithCancel(s.rootCtx)
+	b.live = b.width
+	for _, l := range b.legs {
+		for _, j := range l.jobs {
+			j.batch = b
+		}
+	}
+	return b
+}
+
+// runBatch compiles and executes one batch, then demultiplexes the
+// per-pattern counts back onto the member jobs.
+func (s *Server) runBatch(b *batch) {
+	defer func() {
+		b.cancel()
+		s.mu.Lock()
+		s.running--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+
+	store, err := s.graphFor(b.gref)
+	if err != nil {
+		s.failBatch(b, fmt.Errorf("resolving graph: %w", err))
+		return
+	}
+	s.setBatchState(b, StateCompiling)
+	pats := make([]*pattern.Pattern, len(b.legs))
+	for i, l := range b.legs {
+		pats[i] = l.pat
+	}
+	var pl *plan.Plan
+	popt := plan.Options{Induced: b.induced}
+	if len(pats) == 1 {
+		pl, err = plan.Compile(pats[0], popt)
+	} else {
+		pl, err = plan.CompileMulti(pats, popt)
+	}
+	if err != nil {
+		s.failBatch(b, err)
+		return
+	}
+	copts, err := b.opts.coreOptions()
+	if err != nil {
+		s.failBatch(b, err)
+		return
+	}
+	copts.SchedHooks = sched.MergeHooks(b.prog.Hooks(), obs.SchedHooks(s.reg))
+	copts.OnTaskDone = b.prog.OnTaskDone
+	eng, err := core.NewEngine(store, pl, copts)
+	if err != nil {
+		s.failBatch(b, err)
+		return
+	}
+	ctx := b.ctx
+	if b.opts.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(b.ctx, time.Duration(b.opts.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	s.setBatchState(b, StateRunning)
+	b.prog.BeginRun(eng.TaskCount())
+	res, mineErr := eng.MineContext(ctx)
+	b.prog.EndRun()
+
+	names := make([]string, len(b.legs))
+	for i, l := range b.legs {
+		names[i] = l.pat.Name()
+	}
+	s.mu.Lock()
+	for li, l := range b.legs {
+		var count int64
+		if li < len(res.Counts) {
+			count = res.Counts[li]
+		}
+		for _, j := range l.jobs {
+			if j.state.Terminal() {
+				continue // cancelled mid-batch while others continued
+			}
+			r := &Result{
+				Pattern:       j.pat.Name(),
+				Count:         count,
+				Partial:       mineErr != nil,
+				BatchWidth:    b.width,
+				BatchPatterns: names,
+				Stats:         res.Stats,
+			}
+			switch {
+			case mineErr == nil:
+				s.finishLocked(j, StateDone, "", r)
+			case errors.Is(mineErr, context.Canceled) || errors.Is(mineErr, context.DeadlineExceeded):
+				s.finishLocked(j, StateCancelled, mineErr.Error(), r)
+			default:
+				s.finishLocked(j, StateFailed, mineErr.Error(), r)
+			}
+		}
+	}
+	notes := s.takeNotesLocked()
+	s.mu.Unlock()
+	s.fire(notes)
+}
+
+// failBatch finalizes every non-terminal member as failed.
+func (s *Server) failBatch(b *batch, err error) {
+	s.mu.Lock()
+	for _, l := range b.legs {
+		for _, j := range l.jobs {
+			if !j.state.Terminal() {
+				s.finishLocked(j, StateFailed, err.Error(), nil)
+			}
+		}
+	}
+	notes := s.takeNotesLocked()
+	s.mu.Unlock()
+	s.fire(notes)
+}
+
+// setBatchState advances every non-terminal member of b (compiling, running).
+func (s *Server) setBatchState(b *batch, st State) {
+	s.mu.Lock()
+	for _, l := range b.legs {
+		for _, j := range l.jobs {
+			if !j.state.Terminal() {
+				j.state = st
+				s.notes = append(s.notes, transition{j.id, st})
+			}
+		}
+	}
+	notes := s.takeNotesLocked()
+	s.mu.Unlock()
+	s.fire(notes)
+}
+
+// finishLocked moves a job to a terminal state exactly once, records the
+// result, closes the finalized channel and counts the outcome. Called with
+// s.mu held.
+func (s *Server) finishLocked(j *Job, st State, msg string, r *Result) {
+	if j.state.Terminal() {
+		return
+	}
+	j.state = st
+	j.errMsg = msg
+	j.res = r
+	close(j.finalized)
+	s.notes = append(s.notes, transition{j.id, st})
+	switch st {
+	case StateDone:
+		s.reg.Add(MetricCompleted, 1)
+	case StateFailed:
+		s.reg.Add(MetricFailed, 1)
+	case StateCancelled:
+		s.reg.Add(MetricCancelled, 1)
+	}
+}
+
+func (s *Server) takeNotesLocked() []transition {
+	notes := s.notes
+	s.notes = nil
+	return notes
+}
+
+func (s *Server) fire(notes []transition) {
+	if s.cfg.OnTransition == nil {
+		return
+	}
+	for _, n := range notes {
+		s.cfg.OnTransition(n.id, n.state)
+	}
+}
+
+// graphFor resolves a graph reference: named graphs come straight from the
+// config; path references open (and cache, keyed by the canonical ref) a
+// file or sharded directory under GraphDir.
+func (s *Server) graphFor(ref GraphRef) (graph.Store, error) {
+	if ref.Name != "" {
+		g := s.cfg.Graphs[ref.Name]
+		if g == nil {
+			return nil, fmt.Errorf("jobs: unknown graph %q", ref.Name)
+		}
+		return g, nil
+	}
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	if r, ok := s.graphs[ref.key()]; ok {
+		return r.store, nil
+	}
+	full, err := confinePath(s.cfg.GraphDir, ref.Path)
+	if err != nil {
+		return nil, err
+	}
+	var r resolvedGraph
+	switch {
+	case graph.IsShardedDir(full):
+		sg, err := graph.OpenSharded(full)
+		if err != nil {
+			return nil, err
+		}
+		r = resolvedGraph{store: sg, close: sg.Close}
+	case ref.Mmap:
+		m, err := graph.OpenMapped(full)
+		if err != nil {
+			return nil, err
+		}
+		r = resolvedGraph{store: m, close: m.Close}
+	default:
+		g, err := graph.Load(full)
+		if err != nil {
+			return nil, err
+		}
+		r = resolvedGraph{store: g}
+	}
+	s.graphs[ref.key()] = r
+	return r.store, nil
+}
+
+// confinePath resolves rel under root, rejecting absolute paths and any
+// traversal that would escape the root.
+func confinePath(root, rel string) (string, error) {
+	if root == "" {
+		return "", fmt.Errorf("jobs: graph path references are disabled")
+	}
+	if filepath.IsAbs(rel) {
+		return "", fmt.Errorf("jobs: graph path must be relative to the graph root")
+	}
+	clean := filepath.Clean(rel)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("jobs: graph path escapes the graph root")
+	}
+	return filepath.Join(root, clean), nil
+}

@@ -1,0 +1,393 @@
+package jobs
+
+// Server-level lifecycle tests: dispatch, end-to-end tenant fairness,
+// cancellation semantics (queued, mid-run, one-of-a-batch), drain behavior,
+// and the jobs.* counters. These run under -race in CI.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/pattern"
+)
+
+func submitNamed(t *testing.T, s *Server, tenant, graphName, patName string, opts EngineOptions) string {
+	t.Helper()
+	pat, err := pattern.ByName(patName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Kernel == "" {
+		opts.Kernel = "auto"
+	}
+	if opts.Aux == "" {
+		opts.Aux = "auto"
+	}
+	id, err := s.Submit(SubmitRequest{
+		Tenant:  tenant,
+		Graph:   GraphRef{Name: graphName},
+		Pattern: PatternRef{Name: patName},
+		Options: opts,
+	}, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func waitDone(t *testing.T, s *Server, id string) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Wait(ctx, id); err != nil {
+		t.Fatalf("waiting for %s: %v", id, err)
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func closeServer(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("closing server: %v", err)
+	}
+}
+
+func TestJobLifecycleSingle(t *testing.T) {
+	g := graph.ChungLu(200, 1200, 2.3, 3)
+	reg := obs.NewRegistry(nil)
+	s := New(Config{Registry: reg, Graphs: map[string]graph.Store{"g": g}})
+	defer closeServer(t, s)
+
+	id := submitNamed(t, s, "alice", "g", "triangle", EngineOptions{Workers: 2})
+	st := waitDone(t, s, id)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", st.State, st.Error)
+	}
+	res, err := s.Result(id)
+	if err != nil || res == nil {
+		t.Fatalf("result: %v, %v", res, err)
+	}
+	if res.Count <= 0 || res.Partial || res.BatchWidth != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if got := mineIndividually(t, g, "triangle", "auto", 2); res.Count != got {
+		t.Fatalf("job count %d != direct engine count %d", res.Count, got)
+	}
+	if v := reg.Get(MetricCompleted); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCompleted, v)
+	}
+	if v := reg.Get(MetricQueued); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetricQueued, v)
+	}
+}
+
+// TestTenantFairnessEndToEnd is the fairness acceptance criterion at the
+// server level: tenant A floods the queue with 20 jobs before tenant B's
+// single job arrives; with batching disabled (MaxBatch 1) and one batch in
+// flight, completion order equals DRR dequeue order, so B's job MUST be the
+// second job to finish — deterministically, not probabilistically.
+func TestTenantFairnessEndToEnd(t *testing.T) {
+	g := graph.ChungLu(120, 600, 2.3, 5)
+	var mu sync.Mutex
+	var doneOrder []string
+	s := New(Config{
+		Graphs:      map[string]graph.Store{"g": g},
+		MaxQueue:    64,
+		MaxBatch:    1, // isolate fairness from batching
+		StartPaused: true,
+		OnTransition: func(id string, st State) {
+			if st == StateDone {
+				mu.Lock()
+				doneOrder = append(doneOrder, id)
+				mu.Unlock()
+			}
+		},
+	})
+	defer closeServer(t, s)
+
+	var aIDs []string
+	for i := 0; i < 20; i++ {
+		aIDs = append(aIDs, submitNamed(t, s, "A", "g", "triangle", EngineOptions{Workers: 1}))
+	}
+	bID := submitNamed(t, s, "B", "g", "wedge", EngineOptions{Workers: 1})
+	s.Resume()
+
+	for _, id := range append(append([]string{}, aIDs...), bID) {
+		if st := waitDone(t, s, id); st.State != StateDone {
+			t.Fatalf("job %s: state %s (%s)", id, st.State, st.Error)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(doneOrder) != 21 {
+		t.Fatalf("completions = %d, want 21", len(doneOrder))
+	}
+	// DRR with quantum 1: A's first job, then B's, then A's backlog.
+	if doneOrder[0] != aIDs[0] || doneOrder[1] != bID {
+		t.Fatalf("completion order %v: tenant B's job finished at position %d, want 2 (after exactly one A job)",
+			doneOrder[:3], indexOf(doneOrder, bID)+1)
+	}
+}
+
+func indexOf(s []string, x string) int {
+	for i, v := range s {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	g := graph.ChungLu(100, 500, 2.3, 2)
+	reg := obs.NewRegistry(nil)
+	s := New(Config{Registry: reg, Graphs: map[string]graph.Store{"g": g}, StartPaused: true})
+	defer closeServer(t, s)
+
+	id := submitNamed(t, s, "A", "g", "triangle", EngineOptions{})
+	st, err := s.Cancel(id)
+	if err != nil || st != StateCancelled {
+		t.Fatalf("cancel: state %s, err %v", st, err)
+	}
+	res, err := s.Result(id)
+	if err != nil || res != nil {
+		t.Fatalf("queued-cancelled job should have no result, got %+v, %v", res, err)
+	}
+	if v := reg.Get(MetricCancelled); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCancelled, v)
+	}
+	// Cancelling a terminal job is a no-op.
+	if st, err := s.Cancel(id); err != nil || st != StateCancelled {
+		t.Fatalf("re-cancel: %s, %v", st, err)
+	}
+	if _, err := s.Cancel("job-999"); err != ErrNotFound {
+		t.Fatalf("cancel of unknown job: %v, want ErrNotFound", err)
+	}
+}
+
+// TestCancelMidRunReturnsPartials cancels a deliberately heavy job once the
+// engine is running and asserts the cancelled state carries a partial result
+// (MineContext returns the counts accumulated before cancellation).
+func TestCancelMidRunReturnsPartials(t *testing.T) {
+	// ~7s of single-thread work if left alone — cancelled almost immediately.
+	g := graph.ChungLu(1000, 12000, 2.3, 13)
+	running := make(chan string, 4)
+	s := New(Config{
+		Graphs: map[string]graph.Store{"big": g},
+		OnTransition: func(id string, st State) {
+			if st == StateRunning {
+				running <- id
+			}
+		},
+	})
+	defer closeServer(t, s)
+
+	id := submitNamed(t, s, "A", "big", "house", EngineOptions{Workers: 1})
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never reached running")
+	}
+	if st, err := s.Cancel(id); err != nil || st.Terminal() && st != StateCancelled {
+		t.Fatalf("cancel: state %s, err %v", st, err)
+	}
+	st := waitDone(t, s, id)
+	if st.State != StateCancelled {
+		t.Fatalf("state after mid-run cancel = %s (%s), want cancelled", st.State, st.Error)
+	}
+	res, err := s.Result(id)
+	if err != nil || res == nil {
+		t.Fatalf("mid-run cancel must keep partial results, got %v, %v", res, err)
+	}
+	if !res.Partial {
+		t.Fatal("result not marked partial")
+	}
+}
+
+// TestCancelOneOfBatch cancels one member of a two-job batch and asserts the
+// other member still completes with its full count.
+func TestCancelOneOfBatch(t *testing.T) {
+	// Big enough (~100ms of mining) that the cancel reliably lands mid-run.
+	g := graph.ChungLu(4000, 48000, 2.3, 13)
+	running := make(chan string, 8)
+	s := New(Config{
+		Graphs:      map[string]graph.Store{"g": g},
+		StartPaused: true,
+		OnTransition: func(id string, st State) {
+			if st == StateRunning {
+				running <- id
+			}
+		},
+	})
+	defer closeServer(t, s)
+
+	opts := EngineOptions{Workers: 1}
+	idA := submitNamed(t, s, "A", "g", "diamond", opts)
+	idB := submitNamed(t, s, "B", "g", "tailed-triangle", opts)
+	s.Resume()
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch never reached running")
+	}
+	if _, err := s.Cancel(idA); err != nil {
+		t.Fatal(err)
+	}
+	stA := waitDone(t, s, idA)
+	if stA.State != StateCancelled {
+		t.Fatalf("cancelled member state = %s, want cancelled", stA.State)
+	}
+	stB := waitDone(t, s, idB)
+	if stB.State != StateDone {
+		t.Fatalf("surviving member state = %s (%s), want done", stB.State, stB.Error)
+	}
+	resB, err := s.Result(idB)
+	if err != nil || resB == nil {
+		t.Fatalf("surviving member result: %v, %v", resB, err)
+	}
+	if resB.Partial || resB.BatchWidth != 2 {
+		t.Fatalf("surviving member result %+v: want full (non-partial) count from a width-2 batch", resB)
+	}
+	if want := mineIndividually(t, g, "tailed-triangle", "auto", 1); resB.Count != want {
+		t.Fatalf("surviving member count %d != individual count %d", resB.Count, want)
+	}
+}
+
+// TestDrainWaitsForRunningJobs: Drain must let the in-flight batch finish
+// (done, full result), cancel everything still queued, and reject new
+// submissions.
+func TestDrainWaitsForRunningJobs(t *testing.T) {
+	g := graph.ChungLu(400, 3200, 2.3, 9)
+	running := make(chan string, 8)
+	s := New(Config{
+		Graphs:   map[string]graph.Store{"g": g},
+		MaxBatch: 1,
+		OnTransition: func(id string, st State) {
+			if st == StateRunning {
+				running <- id
+			}
+		},
+	})
+
+	idRun := submitNamed(t, s, "A", "g", "house", EngineOptions{Workers: 2})
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("first job never started")
+	}
+	idQueued := submitNamed(t, s, "A", "g", "triangle", EngineOptions{Workers: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	if st, _ := s.Status(idRun); st.State != StateDone {
+		t.Fatalf("running job after drain = %s (%s), want done", st.State, st.Error)
+	}
+	res, _ := s.Result(idRun)
+	if res == nil || res.Partial {
+		t.Fatalf("drained job result %+v, want full result", res)
+	}
+	if st, _ := s.Status(idQueued); st.State != StateCancelled {
+		t.Fatalf("queued job after drain = %s, want cancelled", st.State)
+	}
+	pat, _ := pattern.ByName("triangle")
+	if _, err := s.Submit(SubmitRequest{Tenant: "A", Graph: GraphRef{Name: "g"}, Pattern: PatternRef{Name: "triangle"}, Options: EngineOptions{Kernel: "auto", Aux: "auto"}}, pat); err != ErrClosed {
+		t.Fatalf("submit after drain: %v, want ErrClosed", err)
+	}
+	closeServer(t, s)
+}
+
+// TestDrainDeadlineCancelsRunning: when the drain context expires first, the
+// running engines are cancelled and unwind with partial results.
+func TestDrainDeadlineCancelsRunning(t *testing.T) {
+	g := graph.ChungLu(1000, 12000, 2.3, 13) // ~7s single-thread if left alone
+	running := make(chan string, 4)
+	s := New(Config{
+		Graphs: map[string]graph.Store{"g": g},
+		OnTransition: func(id string, st State) {
+			if st == StateRunning {
+				running <- id
+			}
+		},
+	})
+	id := submitNamed(t, s, "A", "g", "house", EngineOptions{Workers: 1})
+	select {
+	case <-running:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("drain past deadline: %v, want DeadlineExceeded", err)
+	}
+	if st, _ := s.Status(id); st.State != StateCancelled {
+		t.Fatalf("job after deadline drain = %s, want cancelled", st.State)
+	}
+	res, _ := s.Result(id)
+	if res == nil || !res.Partial {
+		t.Fatalf("deadline-drained job result %+v, want partial result", res)
+	}
+	closeServer(t, s)
+}
+
+func TestJobTimeoutCancelsWithPartials(t *testing.T) {
+	g := graph.ChungLu(1000, 12000, 2.3, 13)
+	s := New(Config{Graphs: map[string]graph.Store{"g": g}})
+	defer closeServer(t, s)
+
+	id := submitNamed(t, s, "A", "g", "house", EngineOptions{Workers: 1, TimeoutMS: 100})
+	st := waitDone(t, s, id)
+	if st.State != StateCancelled {
+		t.Fatalf("timed-out job state = %s (%s), want cancelled", st.State, st.Error)
+	}
+	res, _ := s.Result(id)
+	if res == nil || !res.Partial {
+		t.Fatalf("timed-out job result %+v, want partial", res)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	g := graph.ChungLu(50, 200, 2.3, 1)
+	s := New(Config{Graphs: map[string]graph.Store{"g": g}, StartPaused: true})
+	defer closeServer(t, s)
+
+	pat, _ := pattern.ByName("triangle")
+	cases := []SubmitRequest{
+		{Tenant: "A", Graph: GraphRef{Name: "nope"}, Pattern: PatternRef{Name: "triangle"}},  // unknown named graph
+		{Tenant: "A", Graph: GraphRef{Path: "x.bin"}, Pattern: PatternRef{Name: "triangle"}}, // path refs disabled
+	}
+	for _, req := range cases {
+		req.Options = EngineOptions{Kernel: "auto", Aux: "auto"}
+		if _, err := s.Submit(req, pat); err == nil {
+			t.Fatalf("submit %+v: expected error", req)
+		}
+	}
+}
+
+func TestGraphPathConfinement(t *testing.T) {
+	for _, bad := range []string{"/etc/passwd", "../outside.bin", "a/../../b"} {
+		if _, err := confinePath("/tmp/graphs", bad); err == nil {
+			t.Errorf("confinePath(%q) accepted an escaping path", bad)
+		}
+	}
+	if _, err := confinePath("/tmp/graphs", "sub/ok.bin"); err != nil {
+		t.Errorf("confinePath rejected a legitimate path: %v", err)
+	}
+	if _, err := confinePath("", "ok.bin"); err == nil {
+		t.Error("confinePath with no root should reject everything")
+	}
+}

@@ -1,0 +1,82 @@
+package jobs
+
+// Read-side accessors: point-in-time job status documents (with live
+// progress for running batches, fed by the batch's serve.Progress) and
+// result retrieval. These are what the HTTP polling handlers serialize.
+
+import "repro/internal/serve"
+
+// Status is a job's poll document.
+type Status struct {
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant"`
+	Graph   string `json:"graph"`
+	Pattern string `json:"pattern"`
+	State   State  `json:"state"`
+	Error   string `json:"error,omitempty"`
+
+	// BatchWidth is the number of jobs sharing this job's engine run
+	// (0 until dispatched, 1 for an unbatched run).
+	BatchWidth int `json:"batch_width,omitempty"`
+
+	// Progress is the live engine snapshot while the batch is compiling or
+	// running (task totals appear once the engine is built). Nil otherwise.
+	Progress *serve.Snapshot `json:"progress,omitempty"`
+}
+
+func (s *Server) statusLocked(j *Job) Status {
+	st := Status{
+		ID:      j.id,
+		Tenant:  j.tenant,
+		Graph:   j.gref.Display(),
+		Pattern: j.pat.Name(),
+		State:   j.state,
+		Error:   j.errMsg,
+	}
+	if j.batch != nil {
+		st.BatchWidth = j.batch.width
+		if !j.state.Terminal() {
+			snap := j.batch.prog.Snapshot()
+			st.Progress = &snap
+		}
+	} else if j.res != nil {
+		st.BatchWidth = j.res.BatchWidth
+	}
+	return st
+}
+
+// Status returns the job's current status document.
+func (s *Server) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Status{}, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// List returns every known job's status in submission order.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Result returns a finished job's result. ErrNotFound for unknown IDs;
+// (nil, nil) while the job is still pending; terminal jobs without results
+// (cancelled while queued, failed before running) also return (nil, nil) —
+// callers distinguish via Status.
+func (s *Server) Result(id string) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, ErrNotFound
+	}
+	return j.res, nil
+}

@@ -153,11 +153,25 @@ func NewMux(reg *obs.Registry, prog *Progress, namespace string) *http.ServeMux 
 // requests before forcing connections closed.
 const shutdownGrace = 5 * time.Second
 
+// DrainGrace bounds how long ListenAndServe waits for drainers (in-flight
+// mining work) after ctx is cancelled, before abandoning them and shutting
+// the listener down anyway. A variable so tests and operators with known-long
+// workloads can tune it.
+var DrainGrace = 30 * time.Second
+
 // ListenAndServe serves handler on addr until ctx is cancelled (the SIGINT
 // path in the CLI), then shuts down gracefully. onReady, when non-nil, is
 // invoked with the bound address once the listener is accepting — the hook
 // tests and callers use to learn the port when addr ends in ":0".
-func ListenAndServe(ctx context.Context, addr string, handler http.Handler, onReady func(boundAddr string)) error {
+//
+// Each drain function, when given, is invoked after ctx is cancelled but
+// BEFORE the HTTP listener shuts down, with a context bounded by DrainGrace;
+// this is how in-flight mining work (the serve-mode workload, the job
+// queue's running batches) finishes — and stays observable on /metrics and
+// /debug/progress — instead of being orphaned the instant SIGINT lands.
+// Drainers run in order; the first error is returned after the listener
+// closes, but never aborts the shutdown itself.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, onReady func(boundAddr string), drain ...func(context.Context) error) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -173,11 +187,21 @@ func ListenAndServe(ctx context.Context, addr string, handler http.Handler, onRe
 		return err
 	case <-ctx.Done():
 	}
+	var drainErr error
+	if len(drain) > 0 {
+		drainCtx, cancel := context.WithTimeout(context.Background(), DrainGrace)
+		for _, d := range drain {
+			if err := d(drainCtx); err != nil && drainErr == nil {
+				drainErr = err
+			}
+		}
+		cancel()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return err
 	}
 	<-errCh // Serve has returned http.ErrServerClosed
-	return nil
+	return drainErr
 }

@@ -208,6 +208,101 @@ func TestProgressHooksAreInert(t *testing.T) {
 	}
 }
 
+// TestListenAndServeDrainsBeforeShutdown: after ctx cancellation the
+// drainers must (a) run to completion before the listener closes — the
+// server must still answer requests while in-flight mining work finishes —
+// and (b) receive a DrainGrace-bounded context. This is the SIGINT fix: the
+// old path stopped the listener immediately, orphaning the in-flight mine.
+func TestListenAndServeDrainsBeforeShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	drainEntered := make(chan struct{})
+	releaseDrain := make(chan struct{})
+	var deadlineOK bool
+	drain := func(dctx context.Context) error {
+		if _, ok := dctx.Deadline(); ok && dctx.Err() == nil {
+			deadlineOK = true
+		}
+		close(drainEntered)
+		<-releaseDrain
+		return nil
+	}
+	go func() {
+		done <- ListenAndServe(ctx, "127.0.0.1:0", NewMux(nil, nil, ""), func(addr string) { ready <- addr }, drain)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+	cancel()
+	select {
+	case <-drainEntered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drainer never ran after ctx cancellation")
+	}
+	// Mid-drain the listener must still serve: in-flight work stays
+	// observable on /metrics until the drain completes.
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("server stopped serving during drain: %v", err)
+	}
+	resp.Body.Close()
+	select {
+	case err := <-done:
+		t.Fatalf("ListenAndServe returned %v before the drainer finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(releaseDrain)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown after drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not complete after drain")
+	}
+	if !deadlineOK {
+		t.Error("drainer context carried no deadline (DrainGrace not applied)")
+	}
+}
+
+// TestListenAndServeDrainErrorPropagates: a drainer that gives up (deadline
+// expired with work still running) must not abort the shutdown, but its
+// error must surface to the caller.
+func TestListenAndServeDrainErrorPropagates(t *testing.T) {
+	old := DrainGrace
+	DrainGrace = 30 * time.Millisecond
+	defer func() { DrainGrace = old }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	drain := func(dctx context.Context) error {
+		<-dctx.Done() // simulate work outlasting the grace period
+		return dctx.Err()
+	}
+	go func() {
+		done <- ListenAndServe(ctx, "127.0.0.1:0", NewMux(nil, nil, ""), func(addr string) { ready <- addr }, drain)
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.DeadlineExceeded {
+			t.Errorf("drain overrun returned %v, want DeadlineExceeded", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on an overrunning drainer")
+	}
+}
+
 func TestListenAndServeGracefulShutdown(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
