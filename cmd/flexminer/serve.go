@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,6 +56,8 @@ func runServe(args []string) error {
 	jobsRunning := fs.Int("jobs-running", 1, "max concurrently executing job batches")
 	jobsGraphDir := fs.String("jobs-graph-dir", "", "root directory for job graph path references (empty = named graphs only)")
 	jobsPaused := fs.Bool("jobs-paused", false, "start the job dispatcher paused (POST /jobs/queue/resume to release)")
+	eventlogPath := fs.String("eventlog", "", "flush the job service's structured event log (NDJSON) here on shutdown (implies the in-memory log feeding /debug/jobs)")
+	tracePath := fs.String("trace", "", "flush job lifecycle spans as a Chrome trace (chrome://tracing) here on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,7 +138,17 @@ func runServe(args []string) error {
 	// the final state of the run stays scrapeable on /metrics.
 	var drainers []func(context.Context) error
 
+	// Artifact sinks for the job service, flushed after the listener closes.
+	// The event log always exists when -jobs is on (it feeds /debug/jobs);
+	// -eventlog additionally flushes it to disk. Lifecycle spans are only
+	// recorded when -trace asks for them.
+	var elog *obs.EventLog
+	var jtrace *obs.Tracer
 	if *jobsOn {
+		elog = obs.NewEventLog(0)
+		if *tracePath != "" {
+			jtrace = obs.NewTracer(nil, 0)
+		}
 		named := map[string]graph.Store{}
 		if g != nil {
 			named["default"] = g
@@ -148,6 +161,8 @@ func runServe(args []string) error {
 			Graphs:      named,
 			GraphDir:    *jobsGraphDir,
 			StartPaused: *jobsPaused,
+			Tracer:      jtrace,
+			EventLog:    elog,
 		})
 		js.Routes(mux)
 		drainers = append(drainers, js.Close)
@@ -178,7 +193,41 @@ func runServe(args []string) error {
 		fmt.Printf("serving http://%s/{metrics,healthz,debug/progress,debug/pprof} — ^C to stop\n", bound)
 	}, drainers...)
 	if errors.Is(err, http.ErrServerClosed) {
-		return nil
+		err = nil
+	}
+	if ferr := flushJobArtifacts(*eventlogPath, elog, *tracePath, jtrace); err == nil {
+		err = ferr
 	}
 	return err
+}
+
+// flushJobArtifacts writes the job service's shutdown artifacts: the
+// structured event log as NDJSON and the lifecycle spans as a Chrome trace.
+func flushJobArtifacts(eventlogPath string, elog *obs.EventLog, tracePath string, jtrace *obs.Tracer) error {
+	write := func(path, what string, render func(w io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close() //nolint:errcheck // render already failed
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%s: wrote %s\n", what, path)
+		return nil
+	}
+	if eventlogPath != "" && elog != nil {
+		if err := write(eventlogPath, "eventlog", elog.WriteNDJSON); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" && jtrace != nil {
+		if err := write(tracePath, "trace", jtrace.WriteChromeJSON); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -10,6 +10,7 @@ package jobs
 //	POST   /jobs/{id}/cancel   request cancellation
 //	POST   /jobs/queue/pause   stop dispatching (admin/maintenance)
 //	POST   /jobs/queue/resume  resume dispatching
+//	GET    /debug/jobs         per-tenant summary + structured event-log tail
 //
 // Handlers translate the Server's sentinel errors onto statuses: queue full
 // → 429, shutting down → 503, unknown job → 404, bad request → 400.
@@ -31,6 +32,7 @@ func (s *Server) Routes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /jobs/queue/pause", s.handlePause)
 	mux.HandleFunc("POST /jobs/queue/resume", s.handleResume)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebug)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -128,6 +128,30 @@ type Config struct {
 	// maintenance windows make batching deterministic.
 	StartPaused bool
 
+	// Clock stamps job lifecycle timestamps (submitted/dispatched/started/
+	// finished) and is the source of the queue-wait and run-time histogram
+	// observations. Nil selects wall-clock milliseconds; tests pass an
+	// obs.VirtualClock so timestamps — and every artifact derived from them
+	// — are deterministic. All reads happen with the server mutex held, so
+	// a serialized submission order yields one timestamp sequence.
+	Clock obs.Clock
+
+	// Tracer, when non-nil, receives lifecycle spans (queued/compiling/
+	// running per job on its own lane, engine-run per batch) plus the flow
+	// events linking batched jobs to their shared engine run. Nil disables
+	// span emission at the cost of one pointer test per job.
+	Tracer *obs.Tracer
+
+	// EventLog, when non-nil, receives one structured NDJSON record per job
+	// state transition. Nil disables the log.
+	EventLog *obs.EventLog
+
+	// TenantLabelCap bounds the distinct tenant values on the per-tenant
+	// metric families (jobs.submitted, jobs.finished, jobs.queue_wait_ms,
+	// jobs.run_ms); tenants beyond it fold into obs.OverflowLabel. <= 0
+	// selects obs.DefaultLabelCap.
+	TenantLabelCap int
+
 	// OnTransition, when non-nil, observes every job state change. It runs
 	// outside server locks, in dispatch order per job; implementations must
 	// be concurrency-safe. Observation only — it must not call back into
@@ -154,6 +178,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultWorkers <= 0 {
 		c.DefaultWorkers = runtime.GOMAXPROCS(0)
 	}
+	if c.Clock == nil {
+		c.Clock = wallMillis{}
+	}
 	return c
 }
 
@@ -161,6 +188,7 @@ func (c Config) withDefaults() Config {
 // server mutex; the public accessors return snapshots.
 type Job struct {
 	id      string
+	seq     int // numeric suffix of id; the job's trace lane
 	tenant  string
 	pat     *pattern.Pattern
 	induced bool
@@ -174,6 +202,14 @@ type Job struct {
 	cancelled bool   // cancellation requested while dispatched
 	batch     *batch // non-nil from gather until finalization
 	finalized chan struct{}
+
+	// Lifecycle timestamps in Config.Clock units (wall ms in production,
+	// virtual ticks in tests). Zero means "never reached". All writes and
+	// reads happen under the server mutex.
+	submittedAt  int64
+	dispatchedAt int64 // popped from the queue into a batch
+	startedAt    int64 // batch's engine run began
+	finishedAt   int64 // terminal state recorded
 }
 
 // Result is a finished job's outcome. Stats are the whole batch's engine
@@ -191,16 +227,18 @@ type Result struct {
 // batch is one dispatch unit: a set of jobs compiled into a single
 // (possibly multi-pattern) plan and run on one engine.
 type batch struct {
-	legs    []*leg // one per distinct (non-isomorphic) pattern, in gather order
-	width   int    // total jobs across legs
-	gref    GraphRef
-	gkey    string
-	induced bool
-	opts    EngineOptions
-	ctx     context.Context
-	cancel  context.CancelFunc
-	live    int // jobs not yet individually cancelled
-	prog    serve.Progress
+	legs      []*leg // one per distinct (non-isomorphic) pattern, in gather order
+	seq       int    // dispatch order; names the batch in logs and traces
+	width     int    // total jobs across legs
+	gref      GraphRef
+	gkey      string
+	induced   bool
+	opts      EngineOptions
+	ctx       context.Context
+	cancel    context.CancelFunc
+	live      int   // jobs not yet individually cancelled
+	startedAt int64 // engine run began (Config.Clock units)
+	prog      serve.Progress
 }
 
 type leg struct {
@@ -213,19 +251,30 @@ type Server struct {
 	cfg Config
 	reg *obs.Registry
 
+	// Observability surfaces (observe.go). clock is never nil; tracer and
+	// elog may be nil (inert).
+	clock      obs.Clock
+	tracer     *obs.Tracer
+	elog       *obs.EventLog
+	mSubmitted *obs.LabeledCounter
+	mFinished  *obs.LabeledCounter
+	hQueueWait *obs.LabeledHistogram
+	hRun       *obs.LabeledHistogram
+
 	rootCtx context.Context
 	stopAll context.CancelFunc
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	q       *drrQueue
-	jobs    map[string]*Job
-	order   []string // submission order, for deterministic listings
-	nextID  int
-	running int
-	paused  bool
-	closing bool
-	notes   []transition
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         *drrQueue
+	jobs      map[string]*Job
+	order     []string // submission order, for deterministic listings
+	nextID    int
+	nextBatch int
+	running   int
+	paused    bool
+	closing   bool
+	notes     []transition
 
 	gmu    sync.Mutex
 	graphs map[string]resolvedGraph
@@ -251,6 +300,9 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:            cfg,
 		reg:            cfg.Registry,
+		clock:          cfg.Clock,
+		tracer:         cfg.Tracer,
+		elog:           cfg.EventLog,
 		rootCtx:        ctx,
 		stopAll:        cancel,
 		q:              newDRRQueue(cfg.MaxQueue, cfg.Quantum),
@@ -259,6 +311,7 @@ func New(cfg Config) *Server {
 		graphs:         map[string]resolvedGraph{},
 		dispatcherDone: make(chan struct{}),
 	}
+	s.registerMetrics()
 	s.cond = sync.NewCond(&s.mu)
 	go s.dispatch()
 	return s
@@ -308,6 +361,7 @@ func (s *Server) Submit(req SubmitRequest, pat *pattern.Pattern) (string, error)
 	}
 	j := &Job{
 		id:        fmt.Sprintf("job-%d", s.nextID+1),
+		seq:       s.nextID + 1,
 		tenant:    req.Tenant,
 		pat:       pat,
 		induced:   req.Pattern.Induced,
@@ -325,11 +379,14 @@ func (s *Server) Submit(req SubmitRequest, pat *pattern.Pattern) (string, error)
 	s.nextID++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	j.submittedAt = s.clock.Now()
+	s.logTransition(j, j.submittedAt, StateQueued, nil)
 	s.notes = append(s.notes, transition{j.id, StateQueued})
 	notes := s.takeNotesLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.reg.Add(MetricQueued, 1)
+	s.mSubmitted.Add(req.Tenant, 1)
 	s.fire(notes)
 	return j.id, nil
 }
@@ -500,11 +557,15 @@ func (s *Server) gatherLocked(head *Job) *batch {
 			return true
 		})
 	}
+	s.nextBatch++
+	b.seq = s.nextBatch
 	b.ctx, b.cancel = context.WithCancel(s.rootCtx)
 	b.live = b.width
+	dispatched := s.clock.Now() // one read per batch: members share the instant
 	for _, l := range b.legs {
 		for _, j := range l.jobs {
 			j.batch = b
+			j.dispatchedAt = dispatched
 		}
 	}
 	return b
@@ -597,6 +658,7 @@ func (s *Server) runBatch(b *batch) {
 			}
 		}
 	}
+	s.batchRunObs(b, s.clock.Now())
 	notes := s.takeNotesLocked()
 	s.mu.Unlock()
 	s.fire(notes)
@@ -620,10 +682,18 @@ func (s *Server) failBatch(b *batch, err error) {
 // setBatchState advances every non-terminal member of b (compiling, running).
 func (s *Server) setBatchState(b *batch, st State) {
 	s.mu.Lock()
+	now := s.clock.Now() // one read per transition: members share the instant
+	if st == StateRunning {
+		b.startedAt = now
+	}
 	for _, l := range b.legs {
 		for _, j := range l.jobs {
 			if !j.state.Terminal() {
 				j.state = st
+				if st == StateRunning {
+					j.startedAt = now
+				}
+				s.logTransition(j, now, st, map[string]int64{"batch_width": int64(b.width)})
 				s.notes = append(s.notes, transition{j.id, st})
 			}
 		}
@@ -643,8 +713,10 @@ func (s *Server) finishLocked(j *Job, st State, msg string, r *Result) {
 	j.state = st
 	j.errMsg = msg
 	j.res = r
+	j.finishedAt = s.clock.Now()
 	close(j.finalized)
 	s.notes = append(s.notes, transition{j.id, st})
+	s.finalizeObs(j)
 	switch st {
 	case StateDone:
 		s.reg.Add(MetricCompleted, 1)

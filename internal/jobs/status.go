@@ -19,6 +19,20 @@ type Status struct {
 	// (0 until dispatched, 1 for an unbatched run).
 	BatchWidth int `json:"batch_width,omitempty"`
 
+	// Lifecycle timestamps in the server clock's units (wall milliseconds
+	// in production, virtual ticks under a test clock); zero means the job
+	// has not reached that point. SubmittedAt is set on accept, StartedAt
+	// when the batch's engine run begins, FinishedAt on finalization.
+	SubmittedAt int64 `json:"submitted_at,omitempty"`
+	StartedAt   int64 `json:"started_at,omitempty"`
+	FinishedAt  int64 `json:"finished_at,omitempty"`
+
+	// QueueWaitMS is submit → dispatch (or submit → finalize for jobs that
+	// died queued); RunMS is engine start → finalize. Both appear once the
+	// interval they measure has closed.
+	QueueWaitMS int64 `json:"queue_wait_ms,omitempty"`
+	RunMS       int64 `json:"run_ms,omitempty"`
+
 	// Progress is the live engine snapshot while the batch is compiling or
 	// running (task totals appear once the engine is built). Nil otherwise.
 	Progress *serve.Snapshot `json:"progress,omitempty"`
@@ -26,12 +40,24 @@ type Status struct {
 
 func (s *Server) statusLocked(j *Job) Status {
 	st := Status{
-		ID:      j.id,
-		Tenant:  j.tenant,
-		Graph:   j.gref.Display(),
-		Pattern: j.pat.Name(),
-		State:   j.state,
-		Error:   j.errMsg,
+		ID:          j.id,
+		Tenant:      j.tenant,
+		Graph:       j.gref.Display(),
+		Pattern:     j.pat.Name(),
+		State:       j.state,
+		Error:       j.errMsg,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+	}
+	switch {
+	case j.dispatchedAt > 0:
+		st.QueueWaitMS = j.dispatchedAt - j.submittedAt
+	case j.finishedAt > 0: // never dispatched: its whole life was queue wait
+		st.QueueWaitMS = j.finishedAt - j.submittedAt
+	}
+	if j.startedAt > 0 && j.finishedAt > 0 {
+		st.RunMS = j.finishedAt - j.startedAt
 	}
 	if j.batch != nil {
 		st.BatchWidth = j.batch.width

@@ -9,12 +9,14 @@ package obs_test
 // coverage.)
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"repro/internal/bench"
 	"repro/internal/cmap"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -98,5 +100,32 @@ func TestRegisteredMetricEnumeration(t *testing.T) {
 				"a Stats field was added/renamed without updating this registration contract (and the golden metrics artifacts)",
 				c.label, got, c.want)
 		}
+	}
+}
+
+// TestJobsMetricFamilyEnumeration pins the metric families the job service
+// registers eagerly at construction: the plain jobs.* counters, the
+// tenant-labeled counters, and the tenant-labeled latency histograms.
+// Adding a family to internal/jobs fails here until the expectation — and
+// the jobs observability goldens — are updated.
+func TestJobsMetricFamilyEnumeration(t *testing.T) {
+	reg := obs.NewRegistry(obs.NewVirtualClock())
+	s := jobs.New(jobs.Config{Registry: reg, Clock: obs.NewVirtualClock()})
+	defer s.Close(context.Background()) //nolint:errcheck // empty server; nothing to drain
+
+	wantCounters := []string{
+		"jobs.batch_width", "jobs.batched", "jobs.cancelled", "jobs.completed",
+		"jobs.failed", "jobs.queued", "jobs.rejected_queue_full",
+	}
+	if got := reg.Names(); !reflect.DeepEqual(got, wantCounters) {
+		t.Errorf("plain jobs counters drifted:\n got %v\nwant %v", got, wantCounters)
+	}
+	wantLabeled := []string{"jobs.finished", "jobs.submitted"}
+	if got := reg.LabeledCounterNames(); !reflect.DeepEqual(got, wantLabeled) {
+		t.Errorf("labeled counter families drifted:\n got %v\nwant %v", got, wantLabeled)
+	}
+	wantHists := []string{"jobs.queue_wait_ms", "jobs.run_ms"}
+	if got := reg.HistogramNames(); !reflect.DeepEqual(got, wantHists) {
+		t.Errorf("histogram families drifted:\n got %v\nwant %v", got, wantHists)
 	}
 }

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventLogRingAndDropCounter(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Append(LogRecord{TS: int64(i), Event: "e"})
+	}
+	recs := l.Records()
+	if len(recs) != 3 || recs[0].TS != 3 || recs[2].TS != 5 {
+		t.Errorf("ring kept %v, want TS 3..5", recs)
+	}
+	if l.Dropped() != 2 || l.Len() != 3 {
+		t.Errorf("dropped=%d len=%d, want 2/3", l.Dropped(), l.Len())
+	}
+	if tail := l.Tail(2); len(tail) != 2 || tail[0].TS != 4 {
+		t.Errorf("tail = %v", tail)
+	}
+	if tail := l.Tail(99); len(tail) != 3 {
+		t.Errorf("oversized tail = %v", tail)
+	}
+}
+
+func TestEventLogNilInert(t *testing.T) {
+	var l *EventLog
+	if l.Enabled() {
+		t.Error("nil log reports enabled")
+	}
+	l.Append(LogRecord{Event: "x"})
+	if l.Records() != nil || l.Tail(5) != nil || l.Len() != 0 || l.Dropped() != 0 {
+		t.Error("nil log recorded state")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteNDJSON(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil log flushed %q, %v", buf.String(), err)
+	}
+}
+
+func TestEventLogNDJSONDeterministic(t *testing.T) {
+	flush := func() []byte {
+		l := NewEventLog(0)
+		l.Append(LogRecord{TS: 1, Event: "queued", Job: "job-1", Tenant: "alpha", State: "queued"})
+		l.Append(LogRecord{TS: 2, Event: "running", Job: "job-1", Tenant: "alpha", Batch: "batch-1",
+			State: "running", Fields: map[string]int64{"batch_width": 2, "a": 1}})
+		l.Append(LogRecord{TS: 3, Event: "failed", Job: "job-1", Tenant: "alpha", Batch: "batch-1",
+			State: "failed", Error: "boom", Fields: map[string]int64{"queue_wait_ms": 1}})
+		var buf bytes.Buffer
+		if err := l.WriteNDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := flush(), flush()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical append sequences flushed different bytes")
+	}
+	lines := strings.Split(strings.TrimSuffix(string(a), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("flushed %d lines, want 3", len(lines))
+	}
+	// One compact JSON object per line, fields map with sorted keys.
+	if lines[1] != `{"ts":2,"event":"running","job":"job-1","tenant":"alpha","batch":"batch-1","state":"running","fields":{"a":1,"batch_width":2}}` {
+		t.Errorf("line layout drifted: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"error":"boom"`) {
+		t.Errorf("terminal line missing error: %s", lines[2])
+	}
+}
+
+func TestTracerFlowEvents(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(), 0)
+	tr.EmitAt(CatJobs, "running", 3, 10, 5)
+	tr.EmitFlowAt(CatJobs, "batched-into", 3, 10, 42, true)
+	tr.EmitFlowAt(CatJobs, "batched-into", 1000001, 15, 42, false)
+
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	if events[1].Ph != "s" || events[2].Ph != "f" || events[1].BindID != 42 || events[2].BindID != 42 {
+		t.Errorf("flow endpoints wrong: %+v %+v", events[1], events[2])
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"ph": "X"`, `"ph": "s"`, `"ph": "f"`, `"id": 42`, `"bp": "e"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %s in:\n%s", want, out)
+		}
+	}
+	// The flow start must not carry bp (only the finish binds to the
+	// enclosing slice end).
+	if strings.Count(out, `"bp": "e"`) != 1 {
+		t.Errorf("bp emitted on the wrong endpoints:\n%s", out)
+	}
+
+	// A nil tracer ignores flow emission like everything else.
+	var nilT *Tracer
+	nilT.EmitFlowAt(CatJobs, "x", 0, 0, 1, true)
+	if nilT.Events() != nil {
+		t.Error("nil tracer recorded a flow event")
+	}
+}
+
+// Flow support must not change the serialization of pre-existing events —
+// the sim trace goldens pin X/i events byte-for-byte.
+func TestChromeJSONBackwardCompatible(t *testing.T) {
+	tr := NewTracer(NewVirtualClock(), 0)
+	tr.Emit(CatSched, "steal", 1, 0, Arg{Key: "from", Val: 2})
+	tr.EmitAt(CatKernel, "op", 2, 100, 7)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `"id"`) || strings.Contains(out, `"bp"`) {
+		t.Errorf("non-flow events grew flow fields:\n%s", out)
+	}
+	doc := struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("exported %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "i" || doc.TraceEvents[1]["ph"] != "X" {
+		t.Errorf("phase inference drifted: %v", doc.TraceEvents)
+	}
+}

@@ -52,6 +52,100 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusTypedFamilies(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Add("jobs.completed", 3)
+	r.SetHelp("jobs.completed", "jobs that reached done")
+	r.Add("sim.cycles", 9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "flexminer"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every counter is its own family: HELP (custom text when set, generated
+	// otherwise) immediately followed by TYPE counter and the sample.
+	wantBlocks := []string{
+		"# HELP flexminer_jobs_completed jobs that reached done\n# TYPE flexminer_jobs_completed counter\nflexminer_jobs_completed 3\n",
+		"# TYPE flexminer_sim_cycles counter\nflexminer_sim_cycles 9\n",
+	}
+	for _, want := range wantBlocks {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing block %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "untyped") {
+		t.Errorf("untyped family survived:\n%s", out)
+	}
+}
+
+func TestWritePrometheusLabeledCounter(t *testing.T) {
+	r := NewRegistry(nil)
+	lc := r.LabeledCounter("jobs.submitted", "jobs accepted by Submit", "tenant", 4)
+	lc.Add("beta", 2)
+	lc.Add("alpha", 5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "flexminer"); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP flexminer_jobs_submitted jobs accepted by Submit\n" +
+		"# TYPE flexminer_jobs_submitted counter\n" +
+		"flexminer_jobs_submitted{tenant=\"alpha\"} 5\n" +
+		"flexminer_jobs_submitted{tenant=\"beta\"} 2\n"
+	if got := buf.String(); got != want {
+		t.Errorf("labeled counter exposition:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.LabeledHistogram("jobs.queue_wait_ms", "queue wait, ms", "tenant", 4)
+	h.Observe("t0", 1) // bucket le=1
+	h.Observe("t0", 3) // bucket le=4
+	h.Observe("t0", 3) // bucket le=4
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "flexminer"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	wantLines := []string{
+		"# TYPE flexminer_jobs_queue_wait_ms histogram",
+		`flexminer_jobs_queue_wait_ms_bucket{tenant="t0",le="1"} 1`,
+		`flexminer_jobs_queue_wait_ms_bucket{tenant="t0",le="2"} 1`,
+		`flexminer_jobs_queue_wait_ms_bucket{tenant="t0",le="4"} 3`, // cumulative
+		`flexminer_jobs_queue_wait_ms_bucket{tenant="t0",le="1048576"} 3`,
+		`flexminer_jobs_queue_wait_ms_bucket{tenant="t0",le="+Inf"} 3`,
+		`flexminer_jobs_queue_wait_ms_sum{tenant="t0"} 7`,
+		`flexminer_jobs_queue_wait_ms_count{tenant="t0"} 3`,
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, out)
+		}
+	}
+
+	// Single-series histogram: bare samples, no label pair.
+	r2 := NewRegistry(nil)
+	r2.Histogram("compile_ms", "").Observe(5)
+	buf.Reset()
+	if err := r2.WritePrometheus(&buf, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE ns_compile_ms histogram",
+		`ns_compile_ms_bucket{le="8"} 1`,
+		`ns_compile_ms_bucket{le="+Inf"} 1`,
+		"ns_compile_ms_sum 5",
+		"ns_compile_ms_count 1",
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
 func TestWritePrometheusDefaultNamespace(t *testing.T) {
 	r := NewRegistry(nil)
 	r.Add("x", 1)

@@ -24,7 +24,15 @@ type Registry struct {
 	mu       sync.Mutex
 	clock    Clock
 	counters map[string]int64
+	help     map[string]string // optional per-counter HELP text (Prometheus)
 	phases   []Phase
+
+	// Distribution/labeled families (histogram.go). Kept in the same
+	// registry so the decision-12 rule holds for them too: the Prometheus
+	// exposition and the JSON artifact are two views of one store.
+	hists     map[string]*Histogram
+	lhists    map[string]*LabeledHistogram
+	lcounters map[string]*LabeledCounter
 }
 
 // Phase is one closed phase-timer interval, in the registry clock's units.
@@ -41,7 +49,27 @@ func NewRegistry(clock Clock) *Registry {
 	if clock == nil {
 		clock = NewVirtualClock()
 	}
-	return &Registry{clock: clock, counters: map[string]int64{}}
+	return &Registry{
+		clock:     clock,
+		counters:  map[string]int64{},
+		help:      map[string]string{},
+		hists:     map[string]*Histogram{},
+		lhists:    map[string]*LabeledHistogram{},
+		lcounters: map[string]*LabeledCounter{},
+	}
+}
+
+// Clock returns the clock the registry stamps phases with, so subsystems
+// that record their own timestamps (the job service's lifecycle clock) can
+// share the registry's virtual/wall choice.
+func (r *Registry) Clock() Clock { return r.clock }
+
+// SetHelp attaches Prometheus HELP text to the named plain counter; the
+// exposition falls back to a generic line when none is set.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = help
 }
 
 // Add accumulates delta into the named counter, creating it at zero first.
@@ -108,12 +136,18 @@ func (r *Registry) Phases() []Phase {
 	return append([]Phase(nil), r.phases...)
 }
 
-// metricsDoc is the exported JSON document. Counters marshal as a map —
-// encoding/json sorts map keys, which keeps the bytes deterministic.
+// metricsDoc is the exported JSON document. Counters, histogram series and
+// labeled values marshal as maps — encoding/json sorts map keys, which keeps
+// the bytes deterministic. The labeled/histogram sections are omitted when
+// empty, so documents from registries without them (every artifact golden
+// recorded before they existed) are byte-identical to the pre-histogram
+// layout — the reason the schema stays flexminer-metrics/v1.
 type metricsDoc struct {
-	Schema   string           `json:"schema"`
-	Counters map[string]int64 `json:"counters"`
-	Phases   []Phase          `json:"phases"`
+	Schema          string                            `json:"schema"`
+	Counters        map[string]int64                  `json:"counters"`
+	LabeledCounters map[string]LabeledCounterSnapshot `json:"labeled_counters,omitempty"`
+	Histograms      map[string]HistogramSnapshot      `json:"histograms,omitempty"`
+	Phases          []Phase                           `json:"phases"`
 }
 
 // WriteJSON exports the registry as indented JSON. Two exports of registries
@@ -130,6 +164,8 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		doc.Counters[k] = v
 	}
 	r.mu.Unlock()
+	doc.LabeledCounters = r.labeledCounterSnapshots()
+	doc.Histograms = r.histogramSnapshots()
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

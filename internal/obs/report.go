@@ -11,9 +11,11 @@ import (
 // Metrics is the parsed form of a flexminer-metrics/v1 document — what
 // Registry.WriteJSON emits and ReadMetricsJSON loads back for reporting.
 type Metrics struct {
-	Schema   string           `json:"schema"`
-	Counters map[string]int64 `json:"counters"`
-	Phases   []Phase          `json:"phases"`
+	Schema          string                            `json:"schema"`
+	Counters        map[string]int64                  `json:"counters"`
+	LabeledCounters map[string]LabeledCounterSnapshot `json:"labeled_counters,omitempty"`
+	Histograms      map[string]HistogramSnapshot      `json:"histograms,omitempty"`
+	Phases          []Phase                           `json:"phases"`
 }
 
 // ReadMetricsJSON parses a flexminer-metrics/v1 document, rejecting other
@@ -62,9 +64,99 @@ func RenderReport(w io.Writer, m *Metrics, ts *Timeseries) error {
 	}
 
 	renderBreakdowns(bw, m.Counters)
+	renderHistograms(bw, m.Histograms)
+	renderLabeledCounters(bw, m.LabeledCounters)
 	renderCounterGroups(bw, m.Counters)
 	renderTimeseries(bw, ts)
 	return bw.err
+}
+
+// HistogramQuantile returns the estimated q-quantile (0 < q <= 1) of one
+// exported series: the upper bound of the first bucket at which the
+// cumulative count reaches ceil(q * count). Because buckets are log2-spaced
+// the estimate is an upper bound with at most 2x resolution error — the
+// standard Prometheus histogram_quantile trade, made deterministic by never
+// interpolating. The +Inf bucket reports the largest finite bound (there is
+// no meaningful upper bound to print). Returns 0 for an empty series.
+func HistogramQuantile(bounds []int64, s HistogramSeries, q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(s.Count))
+	if float64(target) < q*float64(s.Count) {
+		target++
+	}
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			break
+		}
+	}
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1] // +Inf bucket: report the largest finite bound
+}
+
+// renderHistograms emits one latency table per histogram family: a row per
+// series (per tenant for labeled families) with count, mean and
+// p50/p95/p99 upper-bound estimates.
+func renderHistograms(bw *errWriter, hists map[string]HistogramSnapshot) {
+	for _, name := range sortedKeys(hists) {
+		fam := hists[name]
+		label := fam.Label
+		if label == "" {
+			label = "series"
+		}
+		bw.printf("\n## Histogram: %s\n\n", name)
+		if fam.Help != "" {
+			bw.printf("%s\n\n", fam.Help)
+		}
+		bw.printf("| %s | count | mean | p50 | p95 | p99 |\n|---|---:|---:|---:|---:|---:|\n", label)
+		for _, lv := range sortedKeys(fam.Series) {
+			s := fam.Series[lv]
+			row := lv
+			if row == "" {
+				row = "(all)"
+			}
+			mean := "—"
+			if s.Count > 0 {
+				mean = fmt.Sprintf("%.1f", float64(s.Sum)/float64(s.Count))
+			}
+			bw.printf("| %s | %d | %s | %d | %d | %d |\n", row, s.Count, mean,
+				HistogramQuantile(fam.Bounds, s, 0.50),
+				HistogramQuantile(fam.Bounds, s, 0.95),
+				HistogramQuantile(fam.Bounds, s, 0.99))
+		}
+	}
+}
+
+// renderLabeledCounters emits one table per labeled counter family, a row
+// per label value plus a total — the per-tenant throughput/fairness view.
+func renderLabeledCounters(bw *errWriter, lcs map[string]LabeledCounterSnapshot) {
+	for _, name := range sortedKeys(lcs) {
+		fam := lcs[name]
+		bw.printf("\n## Labeled counter: %s\n\n", name)
+		if fam.Help != "" {
+			bw.printf("%s\n\n", fam.Help)
+		}
+		var total int64
+		for _, v := range fam.Values {
+			total += v
+		}
+		bw.printf("| %s | value | share |\n|---|---:|---:|\n", fam.Label)
+		for _, lv := range sortedKeys(fam.Values) {
+			bw.printf("| %s | %d | %s |\n", lv, fam.Values[lv], pct(fam.Values[lv], total))
+		}
+		bw.printf("| **total** | **%d** | 100.0%% |\n", total)
+	}
 }
 
 // renderBreakdowns emits one attribution table per "<prefix>.breakdown.*"

@@ -94,6 +94,79 @@ func TestRenderReport(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	bounds := HistogramBounds()
+	r := NewRegistry(nil)
+	h := r.Histogram("lat", "")
+	// 99 observations at 1ms, one at 1000ms: p50 is the first bucket, p99
+	// still the first bucket (cum 99 >= 99), and p100 lands at le=1024.
+	for i := 0; i < 99; i++ {
+		h.Observe(1)
+	}
+	h.Observe(1000)
+	s := r.histogramSnapshots()["lat"].Series[""]
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 1}, {0.95, 1}, {0.99, 1}, {1.0, 1024}} {
+		if got := HistogramQuantile(bounds, s, tc.q); got != tc.want {
+			t.Errorf("q=%v: got %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := HistogramQuantile(bounds, HistogramSeries{}, 0.5); got != 0 {
+		t.Errorf("empty series quantile = %d, want 0", got)
+	}
+	// An observation past every finite bound reports the largest finite bound.
+	var inf HistogramSeries
+	inf.Buckets = make([]int64, len(bounds)+1)
+	inf.Buckets[len(bounds)] = 1
+	inf.Count = 1
+	if got := HistogramQuantile(bounds, inf, 0.5); got != bounds[len(bounds)-1] {
+		t.Errorf("+Inf quantile = %d, want %d", got, bounds[len(bounds)-1])
+	}
+}
+
+func TestRenderReportHistogramsAndLabeledCounters(t *testing.T) {
+	r := NewRegistry(nil)
+	qw := r.LabeledHistogram("jobs.queue_wait_ms", "queue wait per tenant, ms", "tenant", 8)
+	for i := 0; i < 10; i++ {
+		qw.Observe("alpha", 3)
+	}
+	qw.Observe("alpha", 120)
+	qw.Observe("beta", 7)
+	lc := r.LabeledCounter("jobs.submitted", "jobs accepted", "tenant", 8)
+	lc.Add("alpha", 11)
+	lc.Add("beta", 1)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMetricsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := RenderReport(&out, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"## Histogram: jobs.queue_wait_ms",
+		"queue wait per tenant, ms",
+		"| tenant | count | mean | p50 | p95 | p99 |",
+		"| alpha | 11 | 13.6 | 4 | 128 | 128 |",
+		"| beta | 1 | 7.0 | 8 | 8 | 8 |",
+		"## Labeled counter: jobs.submitted",
+		"| alpha | 11 | 91.7% |",
+		"| **total** | **12** | 100.0% |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q in:\n%s", want, got)
+		}
+	}
+}
+
 func TestRenderReportWithoutTimeseries(t *testing.T) {
 	m, _ := reportFixture()
 	var buf bytes.Buffer

@@ -23,6 +23,10 @@ const (
 	CatSimPE = "sim-pe"
 	// CatPhase covers driver-level phase markers (plan/build/mine/simulate).
 	CatPhase = "phase"
+	// CatJobs covers job-service lifecycle spans: per-job queued/compiling/
+	// running intervals and the flow events tying batched jobs to their
+	// shared engine run.
+	CatJobs = "jobs"
 )
 
 // DefaultTraceCap is the ring capacity used when NewTracer is given a
@@ -38,14 +42,19 @@ type Arg struct {
 
 // Event is one trace record. TS and Dur are in the tracer clock's units
 // (virtual ticks, or simulated PE cycles for events emitted via EmitAt);
-// Dur == 0 marks an instant event. TID identifies the worker or PE.
+// Dur == 0 marks an instant event. TID identifies the worker or PE. Ph, when
+// non-empty, forces the Chrome phase character instead of the X/i inference —
+// the flow-event path ("s"/"f"), where BindID pairs the start with its
+// finish across timelines.
 type Event struct {
-	TS   int64
-	Dur  int64
-	Cat  string
-	Name string
-	TID  int
-	Args []Arg
+	TS     int64
+	Dur    int64
+	Cat    string
+	Name   string
+	TID    int
+	Ph     string
+	BindID int64
+	Args   []Arg
 }
 
 // Tracer is a bounded ring buffer of events. Emissions past the capacity
@@ -97,6 +106,22 @@ func (t *Tracer) EmitAt(cat, name string, tid int, ts, dur int64, args ...Arg) {
 		return
 	}
 	t.insert(Event{TS: ts, Dur: dur, Cat: cat, Name: name, TID: tid, Args: args})
+}
+
+// EmitFlowAt records one endpoint of a flow arrow at an explicit timestamp:
+// start=true emits the Chrome "s" (flow begin) phase on the given timeline,
+// start=false the matching "f" (flow end); id pairs the two endpoints. The
+// job service uses one flow per batched job, drawn from the job's lane to
+// the engine-run span of the batch that carried it.
+func (t *Tracer) EmitFlowAt(cat, name string, tid int, ts, id int64, start bool, args ...Arg) {
+	if t == nil {
+		return
+	}
+	ph := "f"
+	if start {
+		ph = "s"
+	}
+	t.insert(Event{TS: ts, Cat: cat, Name: name, TID: tid, Ph: ph, BindID: id, Args: args})
 }
 
 func (t *Tracer) insert(e Event) {
@@ -167,6 +192,8 @@ type chromeEvent struct {
 	PID  int              `json:"pid"`
 	TID  int              `json:"tid"`
 	S    string           `json:"s,omitempty"`
+	ID   int64            `json:"id,omitempty"`
+	BP   string           `json:"bp,omitempty"`
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
@@ -183,9 +210,16 @@ func (t *Tracer) WriteChromeJSON(w io.Writer) error {
 	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ms"}
 	for _, e := range events {
 		ce := chromeEvent{Name: e.Name, Cat: e.Cat, TS: e.TS, Dur: e.Dur, TID: e.TID}
-		if e.Dur > 0 {
+		switch {
+		case e.Ph != "":
+			ce.Ph = e.Ph
+			ce.ID = e.BindID
+			if e.Ph == "f" {
+				ce.BP = "e" // bind the arrow to the enclosing slice's end
+			}
+		case e.Dur > 0:
 			ce.Ph = "X"
-		} else {
+		default:
 			ce.Ph = "i"
 			ce.S = "t" // thread-scoped instant
 		}
